@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graftmatch/internal/bipartite"
+	"graftmatch/internal/mmio"
+)
+
+func TestMain(m *testing.M) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err == nil {
+		os.Stdout = devnull
+	}
+	os.Exit(m.Run())
+}
+
+func writeMatrix(t *testing.T, g *bipartite.Graph) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "m.mtx")
+	if err := mmio.WriteFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBTFOnBlockMatrix(t *testing.T) {
+	// Two decoupled 2x2 blocks.
+	g := bipartite.MustFromEdges(4, 4, []bipartite.Edge{
+		{X: 0, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 0}, {X: 1, Y: 1},
+		{X: 2, Y: 2}, {X: 2, Y: 3}, {X: 3, Y: 2}, {X: 3, Y: 3},
+	})
+	if err := run([]string{writeMatrix(t, g)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTFWithPermOutput(t *testing.T) {
+	g := bipartite.MustFromEdges(3, 3, []bipartite.Edge{
+		{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}, {X: 0, Y: 2},
+	})
+	if err := run([]string{"-perm", "-threads", "2", "-blocks", "2", writeMatrix(t, g)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTFRectangular(t *testing.T) {
+	g := bipartite.MustFromEdges(5, 3, []bipartite.Edge{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 1}, {X: 3, Y: 2}, {X: 4, Y: 2},
+	})
+	if err := run([]string{writeMatrix(t, g)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("want error without file")
+	}
+	if err := run([]string{"/missing.mtx"}); err == nil {
+		t.Fatal("want error for missing file")
+	}
+	if err := run([]string{"-threads", "x", "f.mtx"}); err == nil {
+		t.Fatal("want error for bad flag")
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graftmatch/internal/exps"
+	"graftmatch/internal/mmio"
+)
+
+func TestMain(m *testing.M) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err == nil {
+		os.Stdout = devnull
+	}
+	os.Exit(m.Run())
+}
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateSingle(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-name", "wikipedia"}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := mmio.ReadFile(filepath.Join(dir, "wikipedia.mtx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := exps.ByName(exps.Small, "wikipedia")
+	if g.NumEdges() != want.Graph.NumEdges() {
+		t.Fatalf("round trip changed edges: %d vs %d", g.NumEdges(), want.Graph.NumEdges())
+	}
+	// Only the requested instance is written.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("wrote %d files, want 1", len(entries))
+	}
+}
+
+func TestGenerateAll(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 12 {
+		t.Fatalf("wrote %d files, want 12", len(entries))
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for name, want := range map[string]exps.Scale{
+		"small": exps.Small, "Medium": exps.Medium, "LARGE": exps.Large,
+	} {
+		got, err := parseScale(name)
+		if err != nil || got != want {
+			t.Fatalf("parseScale(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseScale("huge"); err == nil {
+		t.Fatal("want error for unknown scale")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("want error without -out")
+	}
+	if err := run([]string{"-scale", "bogus", "-list"}); err == nil {
+		t.Fatal("want error for bad scale")
+	}
+	if err := run([]string{"-out", "/proc/definitely/not/writable"}); err == nil {
+		t.Fatal("want error for unwritable dir")
+	}
+}
+
+func TestGenerateFormats(t *testing.T) {
+	for _, format := range []string{"el", "mtx.gz", "el.gz"} {
+		dir := t.TempDir()
+		if err := run([]string{"-out", dir, "-name", "wikipedia", "-format", format}); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		g, err := mmio.ReadAuto(filepath.Join(dir, "wikipedia."+format))
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		want, _ := exps.ByName(exps.Small, "wikipedia")
+		if g.NumEdges() != want.Graph.NumEdges() {
+			t.Fatalf("%s: edge mismatch", format)
+		}
+	}
+	if err := run([]string{"-out", t.TempDir(), "-name", "wikipedia", "-format", "bogus"}); err == nil {
+		t.Fatal("want error for unknown format")
+	}
+}

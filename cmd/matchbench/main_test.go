@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCounterExperimentsASCII(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "tab1,tab2,fig1", "-reps", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table I", "Table II", "Fig. 1(a)", "Fig. 1(b)", "Fig. 1(c)",
+		"kkt_power", "wikipedia", "SS-BFS", "MS-BFS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestTimedExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed experiments")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig4,fig6,fig8", "-reps", "1", "-threads", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"MTEPS", "breakdown", "frontier"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "tab2", "-csv"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 13 { // header + 12 instances
+		t.Fatalf("CSV lines = %d, want 13", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "class,graph,") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+}
+
+func TestExperimentOrderCoversAll(t *testing.T) {
+	if len(order) != len(experiments) {
+		t.Fatalf("order has %d ids, experiments has %d", len(order), len(experiments))
+	}
+	for _, id := range order {
+		if _, ok := experiments[id]; !ok {
+			t.Fatalf("order id %q not in experiments", id)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "bogus"}, &buf); err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+	if err := run([]string{"-scale", "bogus"}, &buf); err == nil {
+		t.Fatal("want error for unknown scale")
+	}
+	if err := run([]string{"-threads", "x"}, &buf); err == nil {
+		t.Fatal("want error for bad flag")
+	}
+}
+
+func TestScaleParsing(t *testing.T) {
+	var buf bytes.Buffer
+	for _, sc := range []string{"small", "medium"} {
+		if err := run([]string{"-exp", "tab1", "-scale", sc}, &buf); err != nil {
+			t.Fatalf("scale %s: %v", sc, err)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "tab2", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var obj struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(obj.Rows) != 12 || !strings.Contains(obj.Title, "Table II") {
+		t.Fatalf("JSON content: %+v", obj.Title)
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graftmatch/internal/gen"
+	"graftmatch/internal/mmio"
+)
+
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestSuiteInstance(t *testing.T) {
+	for _, algo := range []string{"msbfsgraft", "msbfs", "diropt"} {
+		if err := run([]string{"-suite", "coPapersDBLP", "-algo", algo, "-phases", "2"}, devNull(t)); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+}
+
+func TestFileInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.mtx")
+	if err := mmio.WriteFile(path, gen.ER(60, 60, 200, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-init", "none", path}, devNull(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitializers(t *testing.T) {
+	for _, init := range []string{"ks", "greedy", "pgreedy", "pks", "none"} {
+		if err := run([]string{"-suite", "wikipedia", "-init", init, "-phases", "1"}, devNull(t)); err != nil {
+			t.Fatalf("%s: %v", init, err)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	out := devNull(t)
+	cases := [][]string{
+		{},                                     // no input
+		{"-suite", "nope"},                     // unknown instance
+		{"-algo", "pf", "-suite", "wikipedia"}, // unsupported algorithm
+		{"-init", "bogus", "-suite", "wikipedia"},
+		{"/missing.mtx"},
+		{"-phases", "x", "-suite", "wikipedia"}, // flag error
+	}
+	for _, args := range cases {
+		if err := run(args, out); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}

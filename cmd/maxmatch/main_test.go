@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graftmatch/internal/gen"
+	"graftmatch/internal/mmio"
+)
+
+func TestMain(m *testing.M) {
+	// The CLI prints results to stdout; keep test output clean.
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err == nil {
+		os.Stdout = devnull
+	}
+	os.Exit(m.Run())
+}
+
+func writeTestMatrix(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.mtx")
+	if err := mmio.WriteFile(path, gen.ER(50, 50, 200, 1)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	path := writeTestMatrix(t)
+	for name := range algoByName {
+		if err := run([]string{"-algo", name, "-verify", "-stats", path}); err != nil {
+			t.Fatalf("algo %s: %v", name, err)
+		}
+	}
+}
+
+func TestRunAllInitializers(t *testing.T) {
+	path := writeTestMatrix(t)
+	for name := range initByName {
+		if err := run([]string{"-init", name, "-verify", path}); err != nil {
+			t.Fatalf("init %s: %v", name, err)
+		}
+	}
+}
+
+func TestRunMatesOutput(t *testing.T) {
+	path := writeTestMatrix(t)
+	if err := run([]string{"-mates", "-threads", "2", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTestMatrix(t)
+	cases := [][]string{
+		{},                            // no file
+		{path, "extra"},               // two files
+		{"-algo", "bogus", path},      // unknown algorithm
+		{"-init", "bogus", path},      // unknown initializer
+		{"/does/not/exist.mtx"},       // missing file
+		{"-threads", "notanum", path}, // flag parse error
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}
+
+func TestOutAndJSON(t *testing.T) {
+	path := writeTestMatrix(t)
+	out := filepath.Join(t.TempDir(), "m.txt")
+	if err := run([]string{"-out", out, "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty matching file")
+	}
+	if err := run([]string{"-out", "/nodir/x.txt", path}); err == nil {
+		t.Fatal("want error for unwritable out path")
+	}
+}

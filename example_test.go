@@ -1,0 +1,83 @@
+package graftmatch_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"graftmatch"
+)
+
+// The basic workflow: build a graph, match, inspect mates.
+func ExampleMatch() {
+	g := graftmatch.MustFromEdges(3, 3, []graftmatch.Edge{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 1}, {X: 2, Y: 2},
+	})
+	res, err := graftmatch.Match(g, graftmatch.Options{Threads: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cardinality:", res.Cardinality)
+	fmt.Println("x0 matched:", res.MateX[0] != graftmatch.Unmatched)
+	// Output:
+	// cardinality: 3
+	// x0 matched: true
+}
+
+// Selecting a baseline algorithm and certifying its answer.
+func ExampleMatch_algorithm() {
+	g := graftmatch.MustFromEdges(2, 2, []graftmatch.Edge{
+		{X: 0, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 0},
+	})
+	res, err := graftmatch.Match(g, graftmatch.Options{
+		Algorithm: graftmatch.HopcroftKarp,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := graftmatch.VerifyMaximum(g, res.MateX, res.MateY); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Stats.Algorithm, res.Cardinality)
+	// Output: HK 2
+}
+
+// Parsing a Matrix Market matrix and matching its sparsity pattern.
+func ExampleReadMatrixMarket() {
+	mtx := `%%MatrixMarket matrix coordinate pattern general
+3 3 4
+1 1
+2 2
+3 3
+1 3
+`
+	g, err := graftmatch.ReadMatrixMarket(strings.NewReader(mtx))
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, card, err := graftmatch.MaximumMatching(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%dx%d matrix, structural rank %d\n", g.NX(), g.NY(), card)
+	// Output: 3x3 matrix, structural rank 3
+}
+
+// Block triangular form of a reducible matrix.
+func ExampleBlockTriangularForm() {
+	// Upper block triangular: {0,1} block coupled into {2}.
+	g := graftmatch.MustFromEdges(3, 3, []graftmatch.Edge{
+		{X: 0, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 0}, {X: 1, Y: 1},
+		{X: 0, Y: 2},
+		{X: 2, Y: 2},
+	})
+	d, err := graftmatch.BlockTriangularForm(g, graftmatch.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("blocks:", d.NumBlocks())
+	fmt.Println("square size:", d.SSize)
+	// Output:
+	// blocks: 2
+	// square size: 3
+}

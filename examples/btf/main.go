@@ -1,0 +1,78 @@
+// BTF example: the paper's motivating application (§I). A structurally
+// reducible sparse matrix is permuted to block triangular form via the
+// Dulmage–Mendelsohn decomposition built on a maximum matching, enabling
+// block-by-block solution of linear systems.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"graftmatch"
+)
+
+func main() {
+	// Build a 600x600 sparse matrix that is secretly block upper
+	// triangular: three diagonal blocks of 200 with random coupling above
+	// the diagonal blocks only, then scramble rows and columns.
+	const n, blocks = 600, 3
+	const bs = n / blocks
+	rng := rand.New(rand.NewSource(7))
+
+	b := graftmatch.NewBuilder(n, n)
+	for blk := 0; blk < blocks; blk++ {
+		lo := int32(blk * bs)
+		// Strongly coupled diagonal block: a cycle plus the diagonal.
+		for i := int32(0); i < bs; i++ {
+			if err := b.AddEdge(lo+i, lo+i); err != nil {
+				log.Fatal(err)
+			}
+			if err := b.AddEdge(lo+i, lo+(i+1)%bs); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// Sparse coupling to later blocks (upper triangle).
+		for k := 0; k < bs; k++ {
+			if blk+1 < blocks {
+				row := lo + int32(rng.Intn(bs))
+				col := int32((blk+1)*bs) + int32(rng.Intn(n-(blk+1)*bs))
+				if err := b.AddEdge(row, col); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	hidden := b.Build()
+
+	// Scramble: random row/column permutations hide the structure.
+	rowScr := rng.Perm(n)
+	colScr := rng.Perm(n)
+	sb := graftmatch.NewBuilder(n, n)
+	for x := int32(0); x < hidden.NX(); x++ {
+		for _, y := range hidden.NbrX(x) {
+			if err := sb.AddEdge(int32(rowScr[x]), int32(colScr[y])); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	g := sb.Build()
+	fmt.Printf("scrambled matrix: %d x %d with %d nonzeros\n", g.NX(), g.NY(), g.NumEdges())
+
+	// Recover the block structure.
+	d, err := graftmatch.BlockTriangularForm(g, graftmatch.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coarse parts: H=%dx%d S=%d V=%dx%d\n", d.HRows, d.HCols, d.SSize, d.VRows, d.VCols)
+	fmt.Printf("recovered %d diagonal blocks\n", d.NumBlocks())
+	sizes := map[int32]int{}
+	for _, s := range d.Blocks {
+		sizes[s]++
+	}
+	fmt.Printf("block size histogram: %v\n", sizes)
+	if d.NumBlocks() == blocks {
+		fmt.Println("exactly the hidden block count was recovered")
+	}
+	fmt.Println("solving now proceeds block by block instead of on the full matrix")
+}

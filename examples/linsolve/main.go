@@ -1,0 +1,83 @@
+// Linear-solve example: the full §I pipeline of the paper. A sparse linear
+// system whose matrix is secretly block triangular is solved by (1) maximum
+// cardinality matching (MS-BFS-Graft), (2) Dulmage–Mendelsohn block
+// triangular form, (3) dense LU only on the small diagonal blocks — the
+// reason circuit simulators compute BTFs at all.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"graftmatch/internal/btfsolve"
+)
+
+func main() {
+	// Build a scrambled system with 40 hidden diagonal blocks of size 25:
+	// n = 1000, but no dense factorization larger than 25 is ever needed.
+	const blocks, bs = 40, 25
+	const n = blocks * bs
+	rng := rand.New(rand.NewSource(11))
+
+	var entries []btfsolve.Entry
+	for blk := 0; blk < blocks; blk++ {
+		lo := int32(blk * bs)
+		for i := int32(0); i < bs; i++ {
+			row := lo + i
+			var offsum float64
+			// A sparse strongly-connected block: ring + a few random couplings.
+			for _, j := range []int32{(i + 1) % bs, (i + 7) % bs} {
+				v := rng.Float64() - 0.5
+				offsum += math.Abs(v)
+				entries = append(entries, btfsolve.Entry{Row: row, Col: lo + j, Val: v})
+			}
+			entries = append(entries, btfsolve.Entry{Row: row, Col: row, Val: offsum + 1.5})
+			// Coupling into later blocks only (upper structure).
+			if blk+1 < blocks {
+				tgt := int32((blk+1)*bs) + int32(rng.Intn(n-(blk+1)*bs))
+				entries = append(entries, btfsolve.Entry{Row: row, Col: tgt, Val: rng.Float64() * 0.3})
+			}
+		}
+	}
+	// Scramble rows/columns to hide the structure.
+	rp, cp := rng.Perm(n), rng.Perm(n)
+	for i, e := range entries {
+		entries[i] = btfsolve.Entry{Row: int32(rp[e.Row]), Col: int32(cp[e.Col]), Val: e.Val}
+	}
+	a, err := btfsolve.NewMatrix(n, entries)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Manufacture a known solution and its right-hand side.
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := a.Apply(xTrue)
+
+	sol, err := btfsolve.Solve(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var worst float64
+	for i := range xTrue {
+		if d := math.Abs(sol.X[i] - xTrue[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("system: n=%d, %d nonzeros\n", a.N(), a.NumNonzeros())
+	fmt.Printf("BTF found %d diagonal blocks, largest %d (hidden structure: %d blocks of %d)\n",
+		len(sol.Blocks), sol.MaxBlock, blocks, bs)
+	fmt.Printf("max |x - x_true| = %.2e\n", worst)
+	dense := float64(n) * float64(n) * float64(n)
+	var blockWork float64
+	for _, s := range sol.Blocks {
+		blockWork += float64(s) * float64(s) * float64(s)
+	}
+	fmt.Printf("LU work vs dense solve: %.4f%% (%.0f vs %.0f flops-ish)\n",
+		100*blockWork/dense, blockWork, dense)
+}

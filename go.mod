@@ -1,0 +1,3 @@
+module graftmatch
+
+go 1.22

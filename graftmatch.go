@@ -1,0 +1,313 @@
+// Package graftmatch computes maximum cardinality matchings in bipartite
+// graphs on shared-memory parallel machines. It implements the MS-BFS-Graft
+// algorithm of Azad, Buluç and Pothen ("A Parallel Tree Grafting Algorithm
+// for Maximum Cardinality Matching in Bipartite Graphs", IPDPS 2015) —
+// multi-source breadth-first search with tree grafting and
+// direction-optimizing traversal — together with the classical algorithms
+// the paper evaluates against (Pothen–Fan, push-relabel, Hopcroft–Karp,
+// single-source BFS/DFS, plain MS-BFS) and the Dulmage–Mendelsohn block
+// triangular decomposition as the motivating application.
+//
+// # Quickstart
+//
+//	g := graftmatch.MustFromEdges(4, 4, []graftmatch.Edge{{0, 0}, {0, 1}, {1, 0}, {2, 2}, {3, 2}})
+//	res, err := graftmatch.Match(g, graftmatch.Options{})
+//	if err != nil { ... }
+//	fmt.Println(res.Cardinality)   // 3
+//	fmt.Println(res.MateX)         // mate of each X vertex, -1 if unmatched
+//
+// The zero Options run MS-BFS-Graft with Karp–Sipser initialization on
+// GOMAXPROCS workers — the configuration the paper recommends.
+package graftmatch
+
+import (
+	"fmt"
+	"io"
+
+	"graftmatch/internal/bipartite"
+	"graftmatch/internal/core"
+	"graftmatch/internal/dmperm"
+	"graftmatch/internal/hk"
+	"graftmatch/internal/matching"
+	"graftmatch/internal/matchinit"
+	"graftmatch/internal/mmio"
+	"graftmatch/internal/pf"
+	"graftmatch/internal/pushrelabel"
+	"graftmatch/internal/ssbfs"
+	"graftmatch/internal/ssdfs"
+)
+
+// Unmatched marks an unmatched vertex in mate arrays.
+const Unmatched int32 = -1
+
+// Graph is an immutable bipartite graph in CSR form; build one with
+// NewBuilder, FromEdges, or ReadMatrixMarket.
+type Graph = bipartite.Graph
+
+// Edge is an (X, Y) vertex pair.
+type Edge = bipartite.Edge
+
+// Builder accumulates edges into a Graph.
+type Builder = bipartite.Builder
+
+// Stats reports the per-run metrics of a matching algorithm (edges
+// traversed, phases, augmenting path lengths, step time breakdown).
+type Stats = matching.Stats
+
+// Decomposition is a Dulmage–Mendelsohn / block-triangular decomposition.
+type Decomposition = dmperm.Decomposition
+
+// NewBuilder returns a Builder for a graph with nx X-vertices (rows) and ny
+// Y-vertices (columns).
+func NewBuilder(nx, ny int32) *Builder { return bipartite.NewBuilder(nx, ny) }
+
+// FromEdges builds a Graph from an edge list, coalescing duplicates.
+func FromEdges(nx, ny int32, edges []Edge) (*Graph, error) {
+	return bipartite.FromEdges(nx, ny, edges)
+}
+
+// MustFromEdges is FromEdges that panics on error.
+func MustFromEdges(nx, ny int32, edges []Edge) *Graph {
+	return bipartite.MustFromEdges(nx, ny, edges)
+}
+
+// ReadMatrixMarket parses a Matrix Market coordinate file into the bipartite
+// graph of its sparsity pattern (rows → X, columns → Y).
+func ReadMatrixMarket(r io.Reader) (*Graph, error) { return mmio.Read(r) }
+
+// ReadMatrixMarketFile reads a Matrix Market file from disk.
+func ReadMatrixMarketFile(path string) (*Graph, error) { return mmio.ReadFile(path) }
+
+// ReadGraphFile reads a graph from disk, dispatching on extension:
+// .mtx (Matrix Market) or .el/.txt (0-based edge list), each optionally
+// gzip-compressed with a trailing .gz.
+func ReadGraphFile(path string) (*Graph, error) { return mmio.ReadAuto(path) }
+
+// WriteGraphFile writes a graph to disk with the same extension dispatch
+// as ReadGraphFile.
+func WriteGraphFile(path string, g *Graph) error { return mmio.WriteAuto(path, g) }
+
+// WriteMatrixMarket writes g as a coordinate-pattern Matrix Market file.
+func WriteMatrixMarket(w io.Writer, g *Graph) error { return mmio.Write(w, g) }
+
+// Algorithm selects a maximum matching algorithm.
+type Algorithm int
+
+// Available algorithms. MSBFSGraft is the paper's contribution and the
+// default; the rest are the baselines of its evaluation.
+const (
+	MSBFSGraft   Algorithm = iota // multi-source BFS + tree grafting + direction optimization
+	MSBFS                         // multi-source BFS, no grafting, top-down only
+	MSBFSDirOpt                   // multi-source BFS + direction optimization, no grafting
+	PothenFan                     // multi-source DFS with lookahead and fairness
+	PushRelabel                   // unit-flow push-relabel with global relabeling
+	HopcroftKarp                  // shortest-augmenting-path phases
+	SSBFS                         // single-source BFS with failed-tree pruning
+	SSDFS                         // single-source DFS with failed-tree pruning
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case MSBFSGraft:
+		return "MS-BFS-Graft"
+	case MSBFS:
+		return "MS-BFS"
+	case MSBFSDirOpt:
+		return "MS-BFS-DirOpt"
+	case PothenFan:
+		return "PF"
+	case PushRelabel:
+		return "PR"
+	case HopcroftKarp:
+		return "HK"
+	case SSBFS:
+		return "SS-BFS"
+	case SSDFS:
+		return "SS-DFS"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Initializer selects the maximal-matching heuristic run before the exact
+// algorithm.
+type Initializer int
+
+// Available initializers. The paper uses Karp–Sipser for every algorithm.
+const (
+	KarpSipser Initializer = iota
+	Greedy
+	ParallelGreedy
+	NoInit // start from the empty matching
+
+	// ParallelKarpSipser is the shared-memory Karp–Sipser relaxation with
+	// worker-local degree-1 cascading; near-serial quality, not
+	// deterministic across thread counts.
+	ParallelKarpSipser
+)
+
+// Options configures Match. The zero value selects the paper's defaults:
+// MS-BFS-Graft, Karp–Sipser initialization, GOMAXPROCS threads, α = 5.
+type Options struct {
+	Algorithm   Algorithm
+	Initializer Initializer
+
+	// Threads is the worker count; 0 means GOMAXPROCS. Single-source
+	// algorithms and Hopcroft–Karp are serial and ignore it.
+	Threads int
+
+	// Alpha is the direction-switch/graft threshold of MS-BFS-Graft;
+	// 0 means 5 (the paper's recommendation).
+	Alpha float64
+
+	// Seed drives the Karp–Sipser random vertex order.
+	Seed int64
+
+	// TraceFrontiers records per-level frontier sizes (Fig. 8) for the
+	// MS-BFS family.
+	TraceFrontiers bool
+}
+
+// Result is the outcome of Match.
+type Result struct {
+	// MateX[x] is the Y vertex matched to X vertex x, or Unmatched;
+	// MateY is the inverse map.
+	MateX []int32
+	MateY []int32
+
+	// Cardinality is |M|, the maximum matching size.
+	Cardinality int64
+
+	// Stats holds the run metrics of the exact algorithm (not including
+	// the initializer).
+	Stats *Stats
+}
+
+// Match computes a maximum cardinality matching of g.
+func Match(g *Graph, opts Options) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("graftmatch: nil graph")
+	}
+	m, err := initialize(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return finishMatch(g, m, opts)
+}
+
+// finishMatch dispatches the exact algorithm on an already-initialized
+// matching and assembles the Result.
+func finishMatch(g *Graph, m *matching.Matching, opts Options) (*Result, error) {
+	var stats *Stats
+	switch opts.Algorithm {
+	case MSBFSGraft:
+		stats = core.Run(g, m, core.Options{
+			Threads:            opts.Threads,
+			Alpha:              opts.Alpha,
+			DirectionOptimized: true,
+			Grafting:           true,
+			TraceFrontiers:     opts.TraceFrontiers,
+		})
+	case MSBFS:
+		stats = core.Run(g, m, core.Options{
+			Threads:        opts.Threads,
+			Alpha:          opts.Alpha,
+			TraceFrontiers: opts.TraceFrontiers,
+		})
+	case MSBFSDirOpt:
+		stats = core.Run(g, m, core.Options{
+			Threads:            opts.Threads,
+			Alpha:              opts.Alpha,
+			DirectionOptimized: true,
+			TraceFrontiers:     opts.TraceFrontiers,
+		})
+	case PothenFan:
+		stats = pf.Run(g, m, opts.Threads)
+	case PushRelabel:
+		stats = pushrelabel.Run(g, m, pushrelabel.Options{Threads: opts.Threads})
+	case HopcroftKarp:
+		stats = hk.Run(g, m)
+	case SSBFS:
+		stats = ssbfs.Run(g, m)
+	case SSDFS:
+		stats = ssdfs.Run(g, m)
+	default:
+		return nil, fmt.Errorf("graftmatch: unknown algorithm %v", opts.Algorithm)
+	}
+	return &Result{
+		MateX:       m.MateX,
+		MateY:       m.MateY,
+		Cardinality: m.Cardinality(),
+		Stats:       stats,
+	}, nil
+}
+
+func initialize(g *Graph, opts Options) (*matching.Matching, error) {
+	switch opts.Initializer {
+	case KarpSipser:
+		return matchinit.KarpSipser(g, opts.Seed), nil
+	case Greedy:
+		return matchinit.Greedy(g), nil
+	case ParallelGreedy:
+		return matchinit.ParallelGreedy(g, opts.Threads), nil
+	case NoInit:
+		return matching.New(g.NX(), g.NY()), nil
+	case ParallelKarpSipser:
+		return matchinit.ParallelKarpSipser(g, opts.Threads), nil
+	default:
+		return nil, fmt.Errorf("graftmatch: unknown initializer %v", opts.Initializer)
+	}
+}
+
+// MaximumMatching computes a maximum cardinality matching with the default
+// options and returns the mate array of X and the cardinality.
+func MaximumMatching(g *Graph) ([]int32, int64, error) {
+	res, err := Match(g, Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.MateX, res.Cardinality, nil
+}
+
+// VerifyMatching checks that the mate arrays form a valid matching of g.
+func VerifyMatching(g *Graph, mateX, mateY []int32) error {
+	m := &matching.Matching{MateX: mateX, MateY: mateY}
+	return m.Verify(g)
+}
+
+// VerifyMaximum proves that the matching is valid and of maximum
+// cardinality via the König vertex-cover certificate.
+func VerifyMaximum(g *Graph, mateX, mateY []int32) error {
+	m := &matching.Matching{MateX: mateX, MateY: mateY}
+	return matching.VerifyMaximum(g, m)
+}
+
+// BlockTriangularForm computes the Dulmage–Mendelsohn decomposition of g
+// (rows = X, columns = Y) using a maximum matching computed with opts.
+func BlockTriangularForm(g *Graph, opts Options) (*Decomposition, error) {
+	res, err := Match(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	m := &matching.Matching{MateX: res.MateX, MateY: res.MateY}
+	return dmperm.Decompose(g, m)
+}
+
+// ResumeMatch continues a maximum matching computation from an existing
+// valid (possibly partial, non-maximal) matching given by mate arrays. The
+// arrays are copied; the result is a fresh maximum matching.
+func ResumeMatch(g *Graph, mateX, mateY []int32, opts Options) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("graftmatch: nil graph")
+	}
+	m := &matching.Matching{
+		MateX: append([]int32(nil), mateX...),
+		MateY: append([]int32(nil), mateY...),
+	}
+	if err := m.Verify(g); err != nil {
+		return nil, fmt.Errorf("graftmatch: invalid initial matching: %w", err)
+	}
+	opts.Initializer = NoInit // the provided matching replaces the initializer
+	return finishMatch(g, m, opts)
+}

@@ -1,0 +1,101 @@
+package bipartite
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph. It is not safe
+// for concurrent use; parallel generators shard edges and merge before
+// building.
+type Builder struct {
+	nx, ny int32
+	edges  []Edge
+}
+
+// NewBuilder returns a Builder for a graph with the given part sizes.
+func NewBuilder(nx, ny int32) *Builder {
+	return &Builder{nx: nx, ny: ny}
+}
+
+// Reserve pre-allocates capacity for n edges.
+func (b *Builder) Reserve(n int) {
+	if cap(b.edges) < n {
+		edges := make([]Edge, len(b.edges), n)
+		copy(edges, b.edges)
+		b.edges = edges
+	}
+}
+
+// AddEdge records the undirected edge (x, y). Duplicates are allowed and
+// coalesced by Build.
+func (b *Builder) AddEdge(x, y int32) error {
+	if x < 0 || x >= b.nx {
+		return fmt.Errorf("bipartite: X vertex %d out of range [0,%d)", x, b.nx)
+	}
+	if y < 0 || y >= b.ny {
+		return fmt.Errorf("bipartite: Y vertex %d out of range [0,%d)", y, b.ny)
+	}
+	b.edges = append(b.edges, Edge{x, y})
+	return nil
+}
+
+// NumEdges returns the number of edges recorded so far (before coalescing).
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build sorts, deduplicates, and freezes the accumulated edges into a Graph.
+// The Builder may be reused afterwards; its edge list is consumed.
+func (b *Builder) Build() *Graph {
+	edges := b.edges
+	b.edges = nil
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].X != edges[j].X {
+			return edges[i].X < edges[j].X
+		}
+		return edges[i].Y < edges[j].Y
+	})
+	// Coalesce duplicates in place.
+	w := 0
+	for i, e := range edges {
+		if i == 0 || e != edges[i-1] {
+			edges[w] = e
+			w++
+		}
+	}
+	edges = edges[:w]
+
+	g := &Graph{nx: b.nx, ny: b.ny}
+	g.xptr = make([]int64, b.nx+1)
+	g.xnbr = make([]int32, len(edges))
+	for _, e := range edges {
+		g.xptr[e.X+1]++
+	}
+	for i := int32(0); i < b.nx; i++ {
+		g.xptr[i+1] += g.xptr[i]
+	}
+	// Edges are sorted X-major, so a single pass fills xnbr in order.
+	for i, e := range edges {
+		g.xnbr[i] = e.Y
+		_ = i
+	}
+
+	// Y-side CSR via counting sort on Y; X-major order makes each Y
+	// neighbor list sorted automatically.
+	g.yptr = make([]int64, b.ny+1)
+	g.ynbr = make([]int32, len(edges))
+	for _, e := range edges {
+		g.yptr[e.Y+1]++
+	}
+	for j := int32(0); j < b.ny; j++ {
+		g.yptr[j+1] += g.yptr[j]
+	}
+	next := make([]int64, b.ny)
+	for j := int32(0); j < b.ny; j++ {
+		next[j] = g.yptr[j]
+	}
+	for _, e := range edges {
+		g.ynbr[next[e.Y]] = e.X
+		next[e.Y]++
+	}
+	return g
+}

@@ -1,0 +1,280 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := MustFromEdges(0, 0, nil)
+	if g.NX() != 0 || g.NY() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph has wrong sizes: %v", g)
+	}
+	if err := Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoEdges(t *testing.T) {
+	g := MustFromEdges(3, 4, nil)
+	if g.NX() != 3 || g.NY() != 4 {
+		t.Fatalf("sizes: %v", g)
+	}
+	for x := int32(0); x < 3; x++ {
+		if g.DegX(x) != 0 {
+			t.Fatalf("degX(%d) = %d", x, g.DegX(x))
+		}
+	}
+	if err := Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasicAdjacency(t *testing.T) {
+	g := MustFromEdges(3, 3, []Edge{{0, 1}, {0, 2}, {1, 0}, {2, 2}})
+	if g.NumEdges() != 4 {
+		t.Fatalf("edges = %d, want 4", g.NumEdges())
+	}
+	if g.NumArcs() != 8 {
+		t.Fatalf("arcs = %d, want 8", g.NumArcs())
+	}
+	wantX := map[int32][]int32{0: {1, 2}, 1: {0}, 2: {2}}
+	for x, want := range wantX {
+		got := g.NbrX(x)
+		if len(got) != len(want) {
+			t.Fatalf("NbrX(%d) = %v, want %v", x, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("NbrX(%d) = %v, want %v", x, got, want)
+			}
+		}
+	}
+	wantY := map[int32][]int32{0: {1}, 1: {0}, 2: {0, 2}}
+	for y, want := range wantY {
+		got := g.NbrY(y)
+		if len(got) != len(want) {
+			t.Fatalf("NbrY(%d) = %v, want %v", y, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("NbrY(%d) = %v, want %v", y, got, want)
+			}
+		}
+	}
+	if err := Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateEdgesCoalesced(t *testing.T) {
+	g := MustFromEdges(2, 2, []Edge{{0, 0}, {0, 0}, {0, 0}, {1, 1}, {1, 1}})
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2 after coalescing", g.NumEdges())
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := MustFromEdges(3, 3, []Edge{{0, 1}, {1, 2}, {2, 0}})
+	cases := []struct {
+		x, y int32
+		want bool
+	}{
+		{0, 1, true}, {1, 2, true}, {2, 0, true},
+		{0, 0, false}, {1, 1, false}, {0, 2, false},
+		{-1, 0, false}, {0, -1, false}, {3, 0, false}, {0, 3, false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.x, c.y); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestOutOfRangeEdges(t *testing.T) {
+	if _, err := FromEdges(2, 2, []Edge{{2, 0}}); err == nil {
+		t.Fatal("want error for X out of range")
+	}
+	if _, err := FromEdges(2, 2, []Edge{{0, 2}}); err == nil {
+		t.Fatal("want error for Y out of range")
+	}
+	if _, err := FromEdges(2, 2, []Edge{{-1, 0}}); err == nil {
+		t.Fatal("want error for negative X")
+	}
+	if _, err := FromEdges(-1, 2, nil); err == nil {
+		t.Fatal("want error for negative part size")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := MustFromEdges(2, 3, []Edge{{0, 0}, {0, 2}, {1, 1}})
+	tr := g.Transpose()
+	if tr.NX() != 3 || tr.NY() != 2 {
+		t.Fatalf("transpose sizes: %v", tr)
+	}
+	for x := int32(0); x < g.NX(); x++ {
+		for _, y := range g.NbrX(x) {
+			if !tr.HasEdge(y, x) {
+				t.Fatalf("edge (%d,%d) missing in transpose", y, x)
+			}
+		}
+	}
+	if err := Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	orig := []Edge{{0, 1}, {1, 0}, {2, 2}, {1, 2}}
+	g := MustFromEdges(3, 3, orig)
+	got := g.Edges(nil)
+	if len(got) != len(orig) {
+		t.Fatalf("got %d edges, want %d", len(got), len(orig))
+	}
+	g2 := MustFromEdges(3, 3, got)
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed edge count")
+	}
+}
+
+// TestBuilderPropertyValid uses testing/quick to check that any random edge
+// set builds a graph that passes full structural validation.
+func TestBuilderPropertyValid(t *testing.T) {
+	f := func(seed int64, nxRaw, nyRaw uint8, mRaw uint16) bool {
+		nx := int32(nxRaw%50) + 1
+		ny := int32(nyRaw%50) + 1
+		m := int(mRaw % 2000)
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder(nx, ny)
+		for i := 0; i < m; i++ {
+			if err := b.AddEdge(int32(rng.Intn(int(nx))), int32(rng.Intn(int(ny)))); err != nil {
+				return false
+			}
+		}
+		g := b.Build()
+		return Validate(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSymmetryProperty checks x-side and y-side adjacency agree for random
+// graphs.
+func TestSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nx := int32(rng.Intn(30) + 1)
+		ny := int32(rng.Intn(30) + 1)
+		b := NewBuilder(nx, ny)
+		for i := 0; i < 200; i++ {
+			_ = b.AddEdge(int32(rng.Intn(int(nx))), int32(rng.Intn(int(ny))))
+		}
+		g := b.Build()
+		var xSide, ySide int64
+		for x := int32(0); x < nx; x++ {
+			xSide += g.DegX(x)
+		}
+		for y := int32(0); y < ny; y++ {
+			ySide += g.DegY(y)
+		}
+		return xSide == ySide && xSide == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderReserveAndReuse(t *testing.T) {
+	b := NewBuilder(4, 4)
+	b.Reserve(16)
+	if err := b.AddEdge(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d", b.NumEdges())
+	}
+	g1 := b.Build()
+	if g1.NumEdges() != 1 {
+		t.Fatalf("g1 edges = %d", g1.NumEdges())
+	}
+	// Builder is reusable after Build.
+	if err := b.AddEdge(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	g2 := b.Build()
+	if g2.NumEdges() != 1 || !g2.HasEdge(1, 1) || g2.HasEdge(0, 0) {
+		t.Fatalf("builder reuse broken: %v", g2)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	g := MustFromEdges(2, 2, []Edge{{0, 0}})
+	if g.String() == "" {
+		t.Fatal("empty String()")
+	}
+	s := ComputeStats(g)
+	if s.String() == "" {
+		t.Fatal("empty stats String()")
+	}
+}
+
+func TestMustFromEdgesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	MustFromEdges(1, 1, []Edge{{5, 5}})
+}
+
+func TestPermute(t *testing.T) {
+	g := MustFromEdges(3, 3, []Edge{{X: 0, Y: 1}, {X: 1, Y: 2}, {X: 2, Y: 0}})
+	// Reverse both sides: new position i holds original 2-i.
+	perm := []int32{2, 1, 0}
+	p, err := Permute(g, perm, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge (0,1) → positions (2,1); (1,2) → (1,0); (2,0) → (0,2).
+	for _, e := range []Edge{{X: 2, Y: 1}, {X: 1, Y: 0}, {X: 0, Y: 2}} {
+		if !p.HasEdge(e.X, e.Y) {
+			t.Fatalf("edge (%d,%d) missing after permute", e.X, e.Y)
+		}
+	}
+	if p.NumEdges() != g.NumEdges() {
+		t.Fatal("edge count changed")
+	}
+	if err := Validate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermuteErrors(t *testing.T) {
+	g := MustFromEdges(2, 2, []Edge{{X: 0, Y: 0}})
+	if _, err := Permute(g, []int32{0}, []int32{0, 1}); err == nil {
+		t.Fatal("want error for short rowPerm")
+	}
+	if _, err := Permute(g, []int32{0, 0}, []int32{0, 1}); err == nil {
+		t.Fatal("want error for non-bijection")
+	}
+	if _, err := Permute(g, []int32{0, 5}, []int32{0, 1}); err == nil {
+		t.Fatal("want error for out-of-range entry")
+	}
+}
+
+func TestPermuteIdentity(t *testing.T) {
+	g := MustFromEdges(3, 2, []Edge{{X: 0, Y: 0}, {X: 2, Y: 1}})
+	id3, id2 := []int32{0, 1, 2}, []int32{0, 1}
+	p, err := Permute(g, id3, id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := g.Edges(nil), p.Edges(nil)
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("identity permutation changed the graph")
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package bipartite
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stats summarizes the degree structure of a graph; it backs the Table II
+// style suite report.
+type Stats struct {
+	NX, NY       int32
+	Edges        int64
+	Arcs         int64 // 2·Edges, the paper's m
+	MinDegX      int64
+	MaxDegX      int64
+	MeanDegX     float64
+	MinDegY      int64
+	MaxDegY      int64
+	MeanDegY     float64
+	IsolatedX    int32 // degree-0 X vertices (can never be matched)
+	IsolatedY    int32
+	DegSkewX     float64 // max/mean degree ratio, a scale-free-ness proxy
+	MedianDegX   int64
+	GiniDegreeX  float64 // inequality of the X degree distribution in [0,1]
+	EmptyFracton float64 // fraction of isolated vertices over all vertices
+}
+
+// ComputeStats scans g once per side and returns its Stats.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{NX: g.NX(), NY: g.NY(), Edges: g.NumEdges(), Arcs: g.NumArcs()}
+	if g.NX() > 0 {
+		degs := make([]int64, g.NX())
+		s.MinDegX = math.MaxInt64
+		var sum int64
+		for x := int32(0); x < g.NX(); x++ {
+			d := g.DegX(x)
+			degs[x] = d
+			sum += d
+			if d < s.MinDegX {
+				s.MinDegX = d
+			}
+			if d > s.MaxDegX {
+				s.MaxDegX = d
+			}
+			if d == 0 {
+				s.IsolatedX++
+			}
+		}
+		s.MeanDegX = float64(sum) / float64(g.NX())
+		if s.MeanDegX > 0 {
+			s.DegSkewX = float64(s.MaxDegX) / s.MeanDegX
+		}
+		sort.Slice(degs, func(i, j int) bool { return degs[i] < degs[j] })
+		s.MedianDegX = degs[len(degs)/2]
+		s.GiniDegreeX = gini(degs, sum)
+	}
+	if g.NY() > 0 {
+		s.MinDegY = math.MaxInt64
+		var sum int64
+		for y := int32(0); y < g.NY(); y++ {
+			d := g.DegY(y)
+			sum += d
+			if d < s.MinDegY {
+				s.MinDegY = d
+			}
+			if d > s.MaxDegY {
+				s.MaxDegY = d
+			}
+			if d == 0 {
+				s.IsolatedY++
+			}
+		}
+		s.MeanDegY = float64(sum) / float64(g.NY())
+	}
+	if nv := g.NumVertices(); nv > 0 {
+		s.EmptyFracton = float64(int64(s.IsolatedX)+int64(s.IsolatedY)) / float64(nv)
+	}
+	return s
+}
+
+// gini computes the Gini coefficient of sorted non-negative values.
+func gini(sorted []int64, sum int64) float64 {
+	n := len(sorted)
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	var weighted int64
+	for i, v := range sorted {
+		weighted += int64(i+1) * v
+	}
+	return (2*float64(weighted))/(float64(n)*float64(sum)) - float64(n+1)/float64(n)
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("nx=%d ny=%d m=%d degX[min=%d med=%d max=%d mean=%.2f] isolated=%d+%d",
+		s.NX, s.NY, s.Arcs, s.MinDegX, s.MedianDegX, s.MaxDegX, s.MeanDegX, s.IsolatedX, s.IsolatedY)
+}

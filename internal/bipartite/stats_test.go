@@ -1,0 +1,62 @@
+package bipartite
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStatsEmpty(t *testing.T) {
+	s := ComputeStats(MustFromEdges(0, 0, nil))
+	if s.Edges != 0 || s.NX != 0 || s.NY != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestStatsBasic(t *testing.T) {
+	// X degrees: 2, 1, 0; Y degrees: 1, 1, 1.
+	g := MustFromEdges(3, 3, []Edge{{0, 0}, {0, 1}, {1, 2}})
+	s := ComputeStats(g)
+	if s.Edges != 3 || s.Arcs != 6 {
+		t.Fatalf("edges=%d arcs=%d", s.Edges, s.Arcs)
+	}
+	if s.MinDegX != 0 || s.MaxDegX != 2 {
+		t.Fatalf("degX range [%d,%d], want [0,2]", s.MinDegX, s.MaxDegX)
+	}
+	if math.Abs(s.MeanDegX-1.0) > 1e-9 {
+		t.Fatalf("meanDegX = %f", s.MeanDegX)
+	}
+	if s.IsolatedX != 1 || s.IsolatedY != 0 {
+		t.Fatalf("isolated = %d,%d", s.IsolatedX, s.IsolatedY)
+	}
+	if s.MedianDegX != 1 {
+		t.Fatalf("median = %d", s.MedianDegX)
+	}
+	if s.EmptyFracton <= 0 {
+		t.Fatalf("empty fraction = %f", s.EmptyFracton)
+	}
+}
+
+func TestGiniUniform(t *testing.T) {
+	// Equal degrees → Gini 0.
+	g := MustFromEdges(4, 4, []Edge{{0, 0}, {1, 1}, {2, 2}, {3, 3}})
+	s := ComputeStats(g)
+	if math.Abs(s.GiniDegreeX) > 1e-9 {
+		t.Fatalf("gini of uniform degrees = %f, want 0", s.GiniDegreeX)
+	}
+}
+
+func TestGiniSkewed(t *testing.T) {
+	// One vertex holds all edges → Gini near 1.
+	var edges []Edge
+	for y := int32(0); y < 8; y++ {
+		edges = append(edges, Edge{0, y})
+	}
+	g := MustFromEdges(8, 8, edges)
+	s := ComputeStats(g)
+	if s.GiniDegreeX < 0.8 {
+		t.Fatalf("gini of maximally skewed degrees = %f, want near 1", s.GiniDegreeX)
+	}
+	if s.DegSkewX != 8 {
+		t.Fatalf("skew = %f, want 8", s.DegSkewX)
+	}
+}

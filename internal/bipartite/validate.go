@@ -1,0 +1,86 @@
+package bipartite
+
+import "fmt"
+
+// Validate checks the structural invariants of the CSR representation:
+// monotone offset arrays, in-range neighbor ids, sorted duplicate-free
+// neighbor lists, and X/Y adjacency symmetry (every arc stored in both
+// directions exactly once). It returns the first violation found.
+func Validate(g *Graph) error {
+	if g.nx < 0 || g.ny < 0 {
+		return fmt.Errorf("bipartite: negative part size nx=%d ny=%d", g.nx, g.ny)
+	}
+	if int32(len(g.xptr)) != g.nx+1 {
+		return fmt.Errorf("bipartite: xptr length %d, want %d", len(g.xptr), g.nx+1)
+	}
+	if int32(len(g.yptr)) != g.ny+1 {
+		return fmt.Errorf("bipartite: yptr length %d, want %d", len(g.yptr), g.ny+1)
+	}
+	if len(g.xnbr) != len(g.ynbr) {
+		return fmt.Errorf("bipartite: asymmetric arc storage: |xnbr|=%d |ynbr|=%d", len(g.xnbr), len(g.ynbr))
+	}
+	if err := checkCSR("x", g.xptr, g.xnbr, g.ny); err != nil {
+		return err
+	}
+	if err := checkCSR("y", g.yptr, g.ynbr, g.nx); err != nil {
+		return err
+	}
+	// Symmetry: each (x,y) arc on the X side must appear as (y,x) on the Y
+	// side. Count-match per Y vertex suffices given both sides are sorted
+	// and duplicate-free with equal totals.
+	degY := make([]int64, g.ny)
+	for _, y := range g.xnbr {
+		degY[y]++
+	}
+	for y := int32(0); y < g.ny; y++ {
+		if degY[y] != g.DegY(y) {
+			return fmt.Errorf("bipartite: degree mismatch for y=%d: x-side says %d, y-side says %d",
+				y, degY[y], g.DegY(y))
+		}
+	}
+	for x := int32(0); x < g.nx; x++ {
+		for _, y := range g.NbrX(x) {
+			if !containsSorted(g.NbrY(y), x) {
+				return fmt.Errorf("bipartite: arc (%d,%d) missing reverse arc", x, y)
+			}
+		}
+	}
+	return nil
+}
+
+func checkCSR(side string, ptr []int64, nbr []int32, bound int32) error {
+	if ptr[0] != 0 {
+		return fmt.Errorf("bipartite: %sptr[0]=%d, want 0", side, ptr[0])
+	}
+	if ptr[len(ptr)-1] != int64(len(nbr)) {
+		return fmt.Errorf("bipartite: %sptr end %d, want %d", side, ptr[len(ptr)-1], len(nbr))
+	}
+	for i := 0; i+1 < len(ptr); i++ {
+		if ptr[i] > ptr[i+1] {
+			return fmt.Errorf("bipartite: %sptr not monotone at %d: %d > %d", side, i, ptr[i], ptr[i+1])
+		}
+		row := nbr[ptr[i]:ptr[i+1]]
+		for k, v := range row {
+			if v < 0 || v >= bound {
+				return fmt.Errorf("bipartite: %s-side neighbor %d of vertex %d out of range [0,%d)", side, v, i, bound)
+			}
+			if k > 0 && row[k-1] >= v {
+				return fmt.Errorf("bipartite: %s-side neighbors of vertex %d not strictly sorted at %d", side, i, k)
+			}
+		}
+	}
+	return nil
+}
+
+func containsSorted(s []int32, v int32) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == v
+}

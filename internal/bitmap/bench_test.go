@@ -1,0 +1,40 @@
+package bitmap
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func BenchmarkTestAndSet(b *testing.B) {
+	bm := New(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.TestAndSet(int32(i & (1<<20 - 1)))
+	}
+}
+
+// BenchmarkInt32CAS is the visited-flag alternative the engine compares
+// against (32x the memory, no word contention).
+func BenchmarkInt32CAS(b *testing.B) {
+	flags := make([]int32, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := int32(i & (1<<20 - 1))
+		if atomic.LoadInt32(&flags[j]) == 0 {
+			atomic.CompareAndSwapInt32(&flags[j], 0, 1)
+		}
+	}
+}
+
+func BenchmarkTest(b *testing.B) {
+	bm := New(1 << 20)
+	for i := int32(0); i < 1<<20; i += 2 {
+		bm.Set(i)
+	}
+	b.ResetTimer()
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = bm.Test(int32(i & (1<<20 - 1)))
+	}
+	_ = sink
+}

@@ -1,0 +1,261 @@
+// Package btfsolve demonstrates the paper's §I motivating application end
+// to end: solving a sparse linear system Ax = b faster by first permuting A
+// to block triangular form (BTF) via a maximum matching and the
+// Dulmage–Mendelsohn decomposition, then solving only the diagonal blocks.
+//
+// The solver is deliberately simple — dense LU with partial pivoting per
+// irreducible diagonal block, plus block back-substitution — because its
+// purpose is to exercise and validate the matching/BTF pipeline, not to
+// compete with production sparse solvers. For a matrix whose BTF has k
+// blocks of size s₁…s_k, factorization work drops from O((Σsᵢ)³) to
+// O(Σsᵢ³).
+package btfsolve
+
+import (
+	"fmt"
+	"math"
+
+	"graftmatch/internal/bipartite"
+	"graftmatch/internal/core"
+	"graftmatch/internal/dmperm"
+	"graftmatch/internal/matchinit"
+)
+
+// Entry is one nonzero of a sparse matrix.
+type Entry struct {
+	Row, Col int32
+	Val      float64
+}
+
+// Matrix is a square sparse matrix in CSR form with values. Duplicate
+// entries are summed at construction.
+type Matrix struct {
+	n   int32
+	ptr []int64
+	col []int32
+	val []float64
+}
+
+// NewMatrix builds an n×n sparse matrix from entries.
+func NewMatrix(n int32, entries []Entry) (*Matrix, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("btfsolve: negative dimension %d", n)
+	}
+	// Coalesce via the bipartite builder's ordering: sort by (row, col).
+	b := bipartite.NewBuilder(n, n)
+	for _, e := range entries {
+		if err := b.AddEdge(e.Row, e.Col); err != nil {
+			return nil, fmt.Errorf("btfsolve: %w", err)
+		}
+	}
+	g := b.Build()
+	m := &Matrix{
+		n:   n,
+		ptr: append([]int64(nil), g.XPtr()...),
+		col: append([]int32(nil), g.XNbr()...),
+		val: make([]float64, g.NumEdges()),
+	}
+	// Sum values into the coalesced positions (binary search per entry).
+	for _, e := range entries {
+		lo, hi := m.ptr[e.Row], m.ptr[e.Row+1]
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if m.col[mid] < e.Col {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		m.val[lo] += e.Val
+	}
+	return m, nil
+}
+
+// N returns the dimension.
+func (m *Matrix) N() int32 { return m.n }
+
+// NumNonzeros returns the structural nonzero count.
+func (m *Matrix) NumNonzeros() int64 { return int64(len(m.col)) }
+
+// Pattern returns the sparsity pattern as a bipartite graph (rows = X).
+func (m *Matrix) Pattern() *bipartite.Graph {
+	b := bipartite.NewBuilder(m.n, m.n)
+	b.Reserve(len(m.col))
+	for i := int32(0); i < m.n; i++ {
+		for p := m.ptr[i]; p < m.ptr[i+1]; p++ {
+			_ = b.AddEdge(i, m.col[p])
+		}
+	}
+	return b.Build()
+}
+
+// Apply computes y = A·x.
+func (m *Matrix) Apply(x []float64) []float64 {
+	y := make([]float64, m.n)
+	for i := int32(0); i < m.n; i++ {
+		var s float64
+		for p := m.ptr[i]; p < m.ptr[i+1]; p++ {
+			s += m.val[p] * x[m.col[p]]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Solution carries the solve result and the BTF structure used.
+type Solution struct {
+	X []float64
+	// Blocks is the diagonal block size list of the BTF used.
+	Blocks []int32
+	// MaxBlock is the largest dense factorization performed.
+	MaxBlock int32
+}
+
+// Solve computes x with Ax = b by BTF decomposition: maximum matching
+// (MS-BFS-Graft), Dulmage–Mendelsohn fine blocks, dense LU per block and
+// block back-substitution. It returns an error if A is structurally
+// singular (no perfect matching) or numerically singular in some block.
+func Solve(a *Matrix, b []float64) (*Solution, error) {
+	if int32(len(b)) != a.n {
+		return nil, fmt.Errorf("btfsolve: rhs length %d, want %d", len(b), a.n)
+	}
+	if a.n == 0 {
+		return &Solution{X: nil}, nil
+	}
+	g := a.Pattern()
+	m := matchinit.KarpSipser(g, 1)
+	core.Run(g, m, core.FullOptions(0))
+	if m.Cardinality() != int64(a.n) {
+		return nil, fmt.Errorf("btfsolve: structurally singular: matching %d < n %d", m.Cardinality(), a.n)
+	}
+	d, err := dmperm.Decompose(g, m)
+	if err != nil {
+		return nil, err
+	}
+
+	// colPos[orig] = permuted column index.
+	colPos := invertPerm(d.ColPerm)
+
+	// Permuted system: A'[i,j] = A[RowPerm[i], ColPerm[j]], b' = P b,
+	// unknowns y with x[ColPerm[j]] = y[j]. A' is block *upper*
+	// triangular, so solve blocks bottom-up.
+	n := int(a.n)
+	y := make([]float64, n)
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rhs[i] = b[d.RowPerm[i]]
+	}
+
+	// Block boundaries in permuted coordinates.
+	starts := make([]int, len(d.Blocks)+1)
+	for k, s := range d.Blocks {
+		starts[k+1] = starts[k] + int(s)
+	}
+
+	var maxBlock int32
+	for k := len(d.Blocks) - 1; k >= 0; k-- {
+		lo, hi := starts[k], starts[k+1]
+		size := hi - lo
+		if int32(size) > maxBlock {
+			maxBlock = int32(size)
+		}
+		// Deflate the rhs of this block by already-solved unknowns and
+		// assemble the dense block.
+		dense := make([]float64, size*size)
+		r := make([]float64, size)
+		for i := lo; i < hi; i++ {
+			orig := d.RowPerm[i]
+			ri := rhs[i]
+			for p := a.ptr[orig]; p < a.ptr[orig+1]; p++ {
+				j := int(colPos[a.col[p]])
+				switch {
+				case j >= hi:
+					ri -= a.val[p] * y[j] // solved later-block unknown
+				case j >= lo:
+					dense[(i-lo)*size+(j-lo)] = a.val[p]
+				default:
+					// Entry below the block diagonal would contradict the
+					// BTF; dmperm guarantees none exist.
+					return nil, fmt.Errorf("btfsolve: internal: entry (%d,%d) below block diagonal", orig, a.col[p])
+				}
+			}
+			r[i-lo] = ri
+		}
+		xb, err := denseLUSolve(dense, r, size)
+		if err != nil {
+			return nil, fmt.Errorf("btfsolve: block %d (size %d): %w", k, size, err)
+		}
+		copy(y[lo:hi], xb)
+	}
+	// Undo the column permutation: x[ColPerm[j]] = y[j].
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		x[d.ColPerm[j]] = y[j]
+	}
+	return &Solution{X: x, Blocks: d.Blocks, MaxBlock: maxBlock}, nil
+}
+
+// invertPerm returns pos with pos[perm[i]] = i.
+func invertPerm(perm []int32) []int32 {
+	pos := make([]int32, len(perm))
+	for i, v := range perm {
+		pos[v] = int32(i)
+	}
+	return pos
+}
+
+// denseLUSolve solves the dense size×size system in place with partial
+// pivoting. a is row-major and clobbered.
+func denseLUSolve(a []float64, b []float64, size int) ([]float64, error) {
+	piv := make([]int, size)
+	for i := range piv {
+		piv[i] = i
+	}
+	for k := 0; k < size; k++ {
+		// Partial pivot.
+		best, bestAbs := k, math.Abs(a[piv[k]*size+k])
+		for i := k + 1; i < size; i++ {
+			if v := math.Abs(a[piv[i]*size+k]); v > bestAbs {
+				best, bestAbs = i, v
+			}
+		}
+		if bestAbs == 0 {
+			return nil, fmt.Errorf("numerically singular at pivot %d", k)
+		}
+		piv[k], piv[best] = piv[best], piv[k]
+		pk := piv[k] * size
+		inv := 1 / a[pk+k]
+		for i := k + 1; i < size; i++ {
+			pi := piv[i] * size
+			f := a[pi+k] * inv
+			if f == 0 {
+				continue
+			}
+			a[pi+k] = f
+			for j := k + 1; j < size; j++ {
+				a[pi+j] -= f * a[pk+j]
+			}
+		}
+	}
+	// Forward substitution (L has unit diagonal, stored below).
+	yv := make([]float64, size)
+	for i := 0; i < size; i++ {
+		s := b[piv[i]]
+		pi := piv[i] * size
+		for j := 0; j < i; j++ {
+			s -= a[pi+j] * yv[j]
+		}
+		yv[i] = s
+	}
+	// Back substitution.
+	x := make([]float64, size)
+	for i := size - 1; i >= 0; i-- {
+		pi := piv[i] * size
+		s := yv[i]
+		for j := i + 1; j < size; j++ {
+			s -= a[pi+j] * x[j]
+		}
+		x[i] = s / a[pi+i]
+	}
+	return x, nil
+}

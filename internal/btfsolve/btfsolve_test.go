@@ -1,0 +1,283 @@
+package btfsolve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-8
+
+func residual(a *Matrix, x, b []float64) float64 {
+	ax := a.Apply(x)
+	var worst float64
+	for i := range b {
+		if r := math.Abs(ax[i] - b[i]); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+func TestDiagonalSystem(t *testing.T) {
+	a, err := NewMatrix(3, []Entry{
+		{Row: 0, Col: 0, Val: 2}, {Row: 1, Col: 1, Val: 4}, {Row: 2, Col: 2, Val: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(a, []float64{2, 8, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, -3}
+	for i := range want {
+		if math.Abs(sol.X[i]-want[i]) > tol {
+			t.Fatalf("x = %v, want %v", sol.X, want)
+		}
+	}
+	if len(sol.Blocks) != 3 || sol.MaxBlock != 1 {
+		t.Fatalf("BTF structure: %v", sol.Blocks)
+	}
+}
+
+func TestUpperTriangularIsAllSingletons(t *testing.T) {
+	// Upper triangular: BTF must find n singleton blocks.
+	a, err := NewMatrix(4, []Entry{
+		{Row: 0, Col: 0, Val: 1}, {Row: 0, Col: 3, Val: 2},
+		{Row: 1, Col: 1, Val: 3}, {Row: 1, Col: 2, Val: 1},
+		{Row: 2, Col: 2, Val: 2},
+		{Row: 3, Col: 3, Val: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xTrue := []float64{1, -2, 3, 0.5}
+	b := a.Apply(xTrue)
+	sol, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Blocks) != 4 {
+		t.Fatalf("blocks = %v, want 4 singletons", sol.Blocks)
+	}
+	if r := residual(a, sol.X, b); r > tol {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestStructurallySingular(t *testing.T) {
+	// Column 1 is empty: no perfect matching.
+	a, err := NewMatrix(2, []Entry{{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 0, Val: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(a, []float64{1, 1}); err == nil {
+		t.Fatal("want structural singularity error")
+	}
+}
+
+func TestNumericallySingular(t *testing.T) {
+	// Structurally fine, numerically rank-deficient 2x2 block.
+	a, err := NewMatrix(2, []Entry{
+		{Row: 0, Col: 0, Val: 1}, {Row: 0, Col: 1, Val: 2},
+		{Row: 1, Col: 0, Val: 2}, {Row: 1, Col: 1, Val: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("want numerical singularity error")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := NewMatrix(-1, nil); err == nil {
+		t.Fatal("want error for negative n")
+	}
+	if _, err := NewMatrix(2, []Entry{{Row: 5, Col: 0, Val: 1}}); err == nil {
+		t.Fatal("want error for out-of-range entry")
+	}
+	a, _ := NewMatrix(2, []Entry{{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: 1}})
+	if _, err := Solve(a, []float64{1}); err == nil {
+		t.Fatal("want error for rhs length")
+	}
+	empty, _ := NewMatrix(0, nil)
+	if _, err := Solve(empty, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateEntriesSummed(t *testing.T) {
+	a, err := NewMatrix(1, []Entry{{Row: 0, Col: 0, Val: 1.5}, {Row: 0, Col: 0, Val: 2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(a, []float64{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.X[0]-2) > tol {
+		t.Fatalf("x = %v, want 2 (values summed to 4)", sol.X)
+	}
+}
+
+// randomBlockSystem builds a scrambled block-triangular matrix with known
+// block structure: nb blocks of size bs, diagonally dominant (well
+// conditioned), coupled only upward, then randomly permuted.
+func randomBlockSystem(rng *rand.Rand, nb, bs int) (*Matrix, int32) {
+	n := int32(nb * bs)
+	var entries []Entry
+	for blk := 0; blk < nb; blk++ {
+		lo := int32(blk * bs)
+		for i := int32(0); i < int32(bs); i++ {
+			row := lo + i
+			// Dense-ish strongly coupled block, diagonally dominant.
+			var offsum float64
+			for j := int32(0); j < int32(bs); j++ {
+				if i == j {
+					continue
+				}
+				v := rng.Float64()*2 - 1
+				offsum += math.Abs(v)
+				entries = append(entries, Entry{Row: row, Col: lo + j, Val: v})
+			}
+			entries = append(entries, Entry{Row: row, Col: row, Val: offsum + 1 + rng.Float64()})
+			// Sparse coupling to later blocks.
+			if blk+1 < nb && rng.Intn(2) == 0 {
+				tgt := int32((blk+1)*bs) + int32(rng.Intn(int(n)-(blk+1)*bs))
+				entries = append(entries, Entry{Row: row, Col: tgt, Val: rng.Float64()})
+			}
+		}
+	}
+	// Scramble rows and columns.
+	rp := rng.Perm(int(n))
+	cp := rng.Perm(int(n))
+	scr := make([]Entry, len(entries))
+	for i, e := range entries {
+		scr[i] = Entry{Row: int32(rp[e.Row]), Col: int32(cp[e.Col]), Val: e.Val}
+	}
+	a, err := NewMatrix(n, scr)
+	if err != nil {
+		panic(err)
+	}
+	return a, int32(bs)
+}
+
+func TestScrambledBlockSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		nb := rng.Intn(5) + 2
+		bs := rng.Intn(6) + 2
+		a, maxBs := randomBlockSystem(rng, nb, bs)
+		xTrue := make([]float64, a.N())
+		for i := range xTrue {
+			xTrue[i] = rng.Float64()*4 - 2
+		}
+		b := a.Apply(xTrue)
+		sol, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if r := residual(a, sol.X, b); r > 1e-6 {
+			t.Fatalf("trial %d: residual %g", trial, r)
+		}
+		for i := range xTrue {
+			if math.Abs(sol.X[i]-xTrue[i]) > 1e-6 {
+				t.Fatalf("trial %d: x[%d] = %g, want %g", trial, i, sol.X[i], xTrue[i])
+			}
+		}
+		// BTF must not merge across the hidden blocks: the largest dense
+		// factorization is at most the hidden block size.
+		if sol.MaxBlock > maxBs {
+			t.Fatalf("trial %d: max block %d exceeds hidden block size %d", trial, sol.MaxBlock, maxBs)
+		}
+	}
+}
+
+// TestSolveProperty: for random diagonally dominant matrices with full
+// structural rank, Solve returns x with small residual.
+func TestSolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int32(rng.Intn(20) + 1)
+		var entries []Entry
+		for i := int32(0); i < n; i++ {
+			var offsum float64
+			for k := 0; k < 3; k++ {
+				j := int32(rng.Intn(int(n)))
+				if j == i {
+					continue
+				}
+				v := rng.Float64()*2 - 1
+				offsum += math.Abs(v)
+				entries = append(entries, Entry{Row: i, Col: j, Val: v})
+			}
+			entries = append(entries, Entry{Row: i, Col: i, Val: offsum + 1})
+		}
+		a, err := NewMatrix(n, entries)
+		if err != nil {
+			return false
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := a.Apply(xTrue)
+		sol, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		return residual(a, sol.X, b) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseLUDirect(t *testing.T) {
+	// 2x2: [[0, 1], [2, 0]] forces pivoting.
+	a := []float64{0, 1, 2, 0}
+	x, err := denseLUSolve(a, []float64{3, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > tol || math.Abs(x[1]-3) > tol {
+		t.Fatalf("x = %v, want [2 3]", x)
+	}
+	if _, err := denseLUSolve([]float64{0, 0, 0, 0}, []float64{1, 1}, 2); err == nil {
+		t.Fatal("want singularity error")
+	}
+}
+
+func BenchmarkBTFSolveVsDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	a, _ := randomBlockSystem(rng, 20, 10) // n = 200
+	xTrue := make([]float64, a.N())
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	rhs := a.Apply(xTrue)
+	b.Run("btf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Solve(a, rhs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		n := int(a.N())
+		for i := 0; i < b.N; i++ {
+			dense := make([]float64, n*n)
+			for r := int32(0); r < a.n; r++ {
+				for p := a.ptr[r]; p < a.ptr[r+1]; p++ {
+					dense[int(r)*n+int(a.col[p])] = a.val[p]
+				}
+			}
+			if _, err := denseLUSolve(dense, rhs, n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,617 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"graftmatch/internal/bipartite"
+	"graftmatch/internal/bitmap"
+	"graftmatch/internal/matching"
+	"graftmatch/internal/par"
+	"graftmatch/internal/queue"
+)
+
+const none = matching.None
+
+// phaseHook, when non-nil, is invoked after every BFS forest construction
+// (before augmentation). It exists solely for white-box invariant tests;
+// production code must leave it nil.
+var phaseHook func(*engine)
+
+// engine holds the per-run state of Algorithm 3. Array roles follow §III-B:
+// visited/parent only on Y (a matched X vertex is reached via its unique
+// mate), root on both parts, leaf indexed by tree root (an X vertex).
+type engine struct {
+	g    *bipartite.Graph
+	m    *matching.Matching
+	opts Options
+
+	visited []int32        // Y: 0 unvisited, 1 claimed by a tree this phase
+	bits    *bitmap.Bitmap // Y: bit-vector alternative to visited (VisitedBitmap)
+	parentY []int32        // Y: parent X vertex in its alternating tree
+	rootX   []int32        // X: root of the tree containing x, or none
+	rootY   []int32        // Y: root of the tree containing y, or none
+	leaf    []int32        // X (roots): unmatched Y leaf ending an augmenting path
+
+	cur, next *queue.Frontier // frontier F (X vertices) double buffer
+	locals    []queue.Local
+
+	// unvisitedY tracks |{y : visited[y]=0}| and unvisitedYEdges the total
+	// degree of those vertices. The direction heuristic compares *edge*
+	// counts (frontier out-degree vs unvisited in-degree), as in Beamer's
+	// original direction-optimizing BFS: vertex counts systematically
+	// overestimate the profitability of bottom-up on skewed graphs whose
+	// unvisited side is dominated by permanently unreachable vertices.
+	unvisitedY      int64
+	unvisitedYEdges int64
+
+	// census scratch queues (renewable/active Y, active X).
+	renewY, activeY, activeX *queue.Frontier
+
+	// unvisQ is the reusable collector of unvisited Y ids for bottom-up.
+	unvisQ *queue.Frontier
+
+	// bottomUpTripped disables further in-phase bottom-up traversal once a
+	// sweep's adoption rate drops below 1/α. In matching phases — unlike
+	// the whole-graph BFS the direction heuristic comes from — a large set
+	// of permanently unreachable Y vertices can persist across phases, and
+	// every bottom-up sweep rescans their entire adjacency for nothing.
+	// A low-yield sweep is the signature of that regime. Grafting sweeps
+	// (over renewableY, which is reachable by construction) are unaffected.
+	bottomUpTripped bool
+
+	edges      *par.Counter // edges traversed, per worker
+	claims     *par.Counter // Y vertices newly claimed, per worker
+	claimedDeg *par.Counter // total degree of newly claimed Y, per worker
+
+	stats *matching.Stats
+}
+
+// Run executes the configured algorithm on g, updating m in place to a
+// matching whose cardinality is maximum, and returns run statistics. The
+// input matching must be valid (typically Karp–Sipser initialized); an
+// empty matching is fine.
+func Run(g *bipartite.Graph, m *matching.Matching, opts Options) *matching.Stats {
+	opts = opts.Defaults()
+	nx, ny := int(g.NX()), int(g.NY())
+	e := &engine{
+		g:          g,
+		m:          m,
+		opts:       opts,
+		parentY:    make([]int32, ny),
+		rootX:      make([]int32, nx),
+		rootY:      make([]int32, ny),
+		leaf:       make([]int32, nx),
+		cur:        queue.NewFrontier(nx),
+		next:       queue.NewFrontier(nx),
+		renewY:     queue.NewFrontier(ny),
+		activeY:    queue.NewFrontier(ny),
+		activeX:    queue.NewFrontier(nx),
+		unvisQ:     queue.NewFrontier(ny),
+		edges:      par.NewCounter(opts.Threads),
+		claims:     par.NewCounter(opts.Threads),
+		claimedDeg: par.NewCounter(opts.Threads),
+		stats: &matching.Stats{
+			Algorithm: algorithmName(opts),
+			Threads:   opts.Threads,
+		},
+	}
+	if opts.VisitedBitmap {
+		e.bits = bitmap.New(ny)
+	} else {
+		e.visited = make([]int32, ny)
+	}
+	e.locals = queue.NewLocals(opts.Threads, e.next)
+	e.stats.InitialCardinality = m.Cardinality()
+
+	start := time.Now()
+	e.run()
+	e.stats.Runtime = time.Since(start)
+	e.stats.FinalCardinality = m.Cardinality()
+	return e.stats
+}
+
+func algorithmName(o Options) string {
+	switch {
+	case o.DirectionOptimized && o.Grafting:
+		return "MS-BFS-Graft"
+	case o.Grafting:
+		return "MS-BFS+Graft(no dirOpt)"
+	case o.DirectionOptimized:
+		return "MS-BFS+DirOpt"
+	default:
+		return "MS-BFS"
+	}
+}
+
+func (e *engine) run() {
+	p := e.opts.Threads
+	nx, ny := int(e.g.NX()), int(e.g.NY())
+
+	par.For(p, ny, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.visitedClear(int32(i))
+			e.rootY[i] = none
+			e.parentY[i] = none
+		}
+	})
+	par.For(p, nx, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.rootX[i] = none
+			e.leaf[i] = none
+		}
+	})
+	e.unvisitedY = int64(ny)
+	e.unvisitedYEdges = int64(len(e.g.YNbr()))
+	e.seedFrontierFromUnmatched()
+
+	for {
+		var trace []int64
+
+		// Step 1: grow the alternating BFS forest level by level.
+		for e.cur.Len() > 0 {
+			if e.opts.TraceFrontiers {
+				trace = append(trace, int64(e.cur.Len()))
+			}
+			if e.bottomUpTripped || e.useTopDown() {
+				t := time.Now()
+				e.topDown()
+				e.stats.AddStep(matching.StepTopDown, time.Since(t))
+				e.stats.TopDownLevels++
+			} else {
+				t := time.Now()
+				r := e.collectUnvisitedY()
+				e.bottomUp(r)
+				if float64(e.claims.Sum())*e.opts.Alpha < float64(len(r)) {
+					e.bottomUpTripped = true
+				}
+				e.stats.AddStep(matching.StepBottomUp, time.Since(t))
+				e.stats.BottomUpLevels++
+			}
+			e.finishLevel()
+		}
+		if e.opts.TraceFrontiers {
+			e.stats.FrontierTrace = append(e.stats.FrontierTrace, trace)
+		}
+
+		if phaseHook != nil {
+			phaseHook(e)
+		}
+
+		// Step 2: augment along the discovered vertex-disjoint paths.
+		t := time.Now()
+		augmented := e.augment()
+		e.stats.AddStep(matching.StepAugment, time.Since(t))
+
+		e.stats.Phases++
+		if augmented == 0 {
+			return
+		}
+
+		// Step 3: build the next phase's frontier (graft or rebuild).
+		e.graftStep()
+	}
+}
+
+// seedFrontierFromUnmatched sets every unmatched X vertex as the root of a
+// fresh singleton active tree and makes them the frontier.
+func (e *engine) seedFrontierFromUnmatched() {
+	e.cur.Reset()
+	mateX := e.m.MateX
+	par.For(e.opts.Threads, len(mateX), func(w, lo, hi int) {
+		l := &e.locals[w]
+		l.Rebind(e.cur)
+		for i := lo; i < hi; i++ {
+			if mateX[i] == none {
+				x := int32(i)
+				e.rootX[x] = x
+				e.leaf[x] = none
+				l.Push(x)
+			}
+		}
+		l.Flush()
+		l.Rebind(e.next)
+	})
+}
+
+// useTopDown applies the direction heuristic: top-down while the frontier's
+// outgoing edge count is small relative to the edges incident to unvisited
+// Y vertices (m_F < m_U/α), the edge-based form of the rule from the
+// direction-optimizing BFS the paper builds on. α defaults to 5 (§III-B).
+func (e *engine) useTopDown() bool {
+	if !e.opts.DirectionOptimized {
+		return true
+	}
+	if e.unvisitedY == 0 {
+		return true
+	}
+	var mf int64
+	xptr := e.g.XPtr()
+	for _, x := range e.cur.Slice() {
+		mf += xptr[x+1] - xptr[x]
+	}
+	return float64(mf) < float64(e.unvisitedYEdges)/e.opts.Alpha
+}
+
+// topDown is Algorithm 4: expand every frontier vertex of an active tree,
+// claiming unvisited Y neighbors by CAS (test before CAS to avoid wasted
+// atomics). Matched claims push the mate into the next frontier; unmatched
+// claims record an augmenting path end in leaf[root] (benign race: the last
+// writer wins and the tree keeps exactly one path).
+func (e *engine) topDown() {
+	if e.opts.Threads == 1 {
+		e.topDownSerial()
+		return
+	}
+	f := e.cur.Slice()
+	mateY := e.m.MateY
+	par.ForDynamic(e.opts.Threads, len(f), 64, func(w int, lo, hi int) {
+		l := &e.locals[w]
+		var edges, claims, claimedDeg int64
+		for i := lo; i < hi; i++ {
+			x := f[i]
+			root := e.rootX[x]
+			if atomic.LoadInt32(&e.leaf[root]) != none {
+				continue // tree became renewable; stop growing it
+			}
+			nbr := e.g.NbrX(x)
+			edges += int64(len(nbr))
+			for _, y := range nbr {
+				if e.visitedTest(y) {
+					continue
+				}
+				if !e.visitedTryClaim(y) {
+					continue
+				}
+				claims++
+				claimedDeg += e.g.DegY(y)
+				e.parentY[y] = x
+				e.rootY[y] = root
+				if mate := mateY[y]; mate != none {
+					e.rootX[mate] = root
+					l.Push(mate)
+				} else {
+					atomic.StoreInt32(&e.leaf[root], y)
+				}
+			}
+		}
+		l.Flush()
+		e.edges.Add(w, edges)
+		e.claims.Add(w, claims)
+		e.claimedDeg.Add(w, claimedDeg)
+	})
+}
+
+// topDownSerial is topDown without atomics or worker fan-out — the honest
+// serial baseline the paper's one-thread measurements correspond to. It
+// visits frontier vertices and claims Y neighbors in deterministic order.
+func (e *engine) topDownSerial() {
+	f := e.cur.Slice()
+	mateY := e.m.MateY
+	l := &e.locals[0]
+	var edges, claims, claimedDeg int64
+	for _, x := range f {
+		root := e.rootX[x]
+		if e.leaf[root] != none {
+			continue // tree became renewable; stop growing it
+		}
+		nbr := e.g.NbrX(x)
+		edges += int64(len(nbr))
+		for _, y := range nbr {
+			if e.visitedTest(y) {
+				continue
+			}
+			e.visitedSetOwned(y)
+			claims++
+			claimedDeg += e.g.DegY(y)
+			e.parentY[y] = x
+			e.rootY[y] = root
+			if mate := mateY[y]; mate != none {
+				e.rootX[mate] = root
+				l.Push(mate)
+			} else {
+				e.leaf[root] = y
+			}
+		}
+	}
+	l.Flush()
+	e.edges.Add(0, edges)
+	e.claims.Add(0, claims)
+	e.claimedDeg.Add(0, claimedDeg)
+}
+
+// collectUnvisitedY gathers the ids of unvisited Y vertices into a reusable
+// buffer — the set R scanned by a regular bottom-up step.
+func (e *engine) collectUnvisitedY() []int32 {
+	e.unvisQ.Reset()
+	par.For(e.opts.Threads, len(e.rootY), func(w, lo, hi int) {
+		var buf [256]int32
+		n := 0
+		for y := lo; y < hi; y++ {
+			if !e.visitedTest(int32(y)) {
+				if n == len(buf) {
+					e.unvisQ.PushBlock(buf[:n])
+					n = 0
+				}
+				buf[n] = int32(y)
+				n++
+			}
+		}
+		e.unvisQ.PushBlock(buf[:n])
+	})
+	return e.unvisQ.Slice()
+}
+
+// bottomUp is Algorithm 6: every y in R scans its neighbors and joins the
+// first one found in an active tree, then stops. Each y is owned by exactly
+// one worker, so visited/parent/root of y need no atomics; only the shared
+// leaf[root] reads/writes and the mate push do.
+func (e *engine) bottomUp(r []int32) {
+	if e.opts.Threads == 1 {
+		e.bottomUpSerial(r)
+		return
+	}
+	mateY := e.m.MateY
+	par.ForDynamic(e.opts.Threads, len(r), 64, func(w int, lo, hi int) {
+		l := &e.locals[w]
+		var edges, claims, claimedDeg int64
+		for i := lo; i < hi; i++ {
+			y := r[i]
+			for _, x := range e.g.NbrY(y) {
+				edges++
+				// rootX is read/written atomically here because another
+				// worker may concurrently adopt x's mate-chain neighbor
+				// (rootX[mate] store below).
+				root := atomic.LoadInt32(&e.rootX[x])
+				if root == none || atomic.LoadInt32(&e.leaf[root]) != none {
+					continue // x is not in an active tree
+				}
+				claims++
+				claimedDeg += e.g.DegY(y)
+				e.visitedSetOwned(y)
+				e.parentY[y] = x
+				e.rootY[y] = root
+				if mate := mateY[y]; mate != none {
+					atomic.StoreInt32(&e.rootX[mate], root)
+					l.Push(mate)
+				} else {
+					atomic.StoreInt32(&e.leaf[root], y)
+				}
+				break // stop exploring neighbors of y
+			}
+		}
+		l.Flush()
+		e.edges.Add(w, edges)
+		e.claims.Add(w, claims)
+		e.claimedDeg.Add(w, claimedDeg)
+	})
+}
+
+// bottomUpSerial is bottomUp without atomics for single-thread runs.
+func (e *engine) bottomUpSerial(r []int32) {
+	mateY := e.m.MateY
+	l := &e.locals[0]
+	var edges, claims, claimedDeg int64
+	for _, y := range r {
+		for _, x := range e.g.NbrY(y) {
+			edges++
+			root := e.rootX[x]
+			if root == none || e.leaf[root] != none {
+				continue // x is not in an active tree
+			}
+			claims++
+			claimedDeg += e.g.DegY(y)
+			e.visitedSetOwned(y)
+			e.parentY[y] = x
+			e.rootY[y] = root
+			if mate := mateY[y]; mate != none {
+				e.rootX[mate] = root
+				l.Push(mate)
+			} else {
+				e.leaf[root] = y
+			}
+			break // stop exploring neighbors of y
+		}
+	}
+	l.Flush()
+	e.edges.Add(0, edges)
+	e.claims.Add(0, claims)
+	e.claimedDeg.Add(0, claimedDeg)
+}
+
+// finishLevel swaps the frontier double buffer and folds the per-worker
+// counters into the running statistics.
+func (e *engine) finishLevel() {
+	e.stats.EdgesTraversed += e.edges.Sum()
+	e.unvisitedY -= e.claims.Sum()
+	e.unvisitedYEdges -= e.claimedDeg.Sum()
+	e.edges.Reset()
+	e.claims.Reset()
+	e.claimedDeg.Reset()
+	e.cur.Swap(e.next)
+	e.next.Reset()
+}
+
+// augment is Step 2: for every renewable tree (root x0 with leaf[x0] set),
+// walk the unique augmenting path leaf→root via parent and mate pointers,
+// flipping matched and unmatched edges. Paths are vertex-disjoint across
+// trees, so roots are processed in parallel.
+func (e *engine) augment() int64 {
+	mateX, mateY := e.m.MateX, e.m.MateY
+	paths := par.NewCounter(e.opts.Threads)
+	lens := par.NewCounter(e.opts.Threads)
+	par.ForDynamic(e.opts.Threads, len(mateX), 512, func(w int, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x0 := int32(i)
+			if mateX[x0] != none || e.rootX[x0] != x0 {
+				continue
+			}
+			y := e.leaf[x0]
+			if y == none {
+				continue
+			}
+			var edgeLen int64
+			for {
+				x := e.parentY[y]
+				prevY := mateX[x]
+				mateX[x] = y
+				mateY[y] = x
+				edgeLen += 2
+				if x == x0 {
+					break
+				}
+				y = prevY
+			}
+			paths.Add(w, 1)
+			lens.Add(w, edgeLen-1) // path has 2k+1 edges for k+1 matches
+		}
+	})
+	n := paths.Sum()
+	e.stats.AugPaths += n
+	e.stats.AugPathLen += lens.Sum()
+	return n
+}
+
+// graftStep is Algorithm 7. It takes the census of active and renewable
+// vertices (Statistics in Fig. 6), resets the renewable Y state, and either
+// grafts renewableY onto the active forest bottom-up or destroys everything
+// and restarts from the unmatched X vertices.
+func (e *engine) graftStep() {
+	p := e.opts.Threads
+
+	// Census (lines 2–4): classify by leaf[root].
+	t := time.Now()
+	e.activeX.Reset()
+	e.activeY.Reset()
+	e.renewY.Reset()
+	par.For(p, len(e.rootX), func(w, lo, hi int) {
+		l := &e.locals[w]
+		l.Rebind(e.activeX)
+		for i := lo; i < hi; i++ {
+			if r := e.rootX[i]; r != none && e.leaf[r] == none {
+				l.Push(int32(i))
+			}
+		}
+		l.Flush()
+		l.Rebind(e.next)
+	})
+	par.For(p, len(e.rootY), func(w, lo, hi int) {
+		var act, ren [256]int32
+		na, nr := 0, 0
+		for i := lo; i < hi; i++ {
+			r := e.rootY[i]
+			if r == none {
+				continue
+			}
+			if e.leaf[r] == none {
+				if na == len(act) {
+					e.activeY.PushBlock(act[:na])
+					na = 0
+				}
+				act[na] = int32(i)
+				na++
+			} else {
+				if nr == len(ren) {
+					e.renewY.PushBlock(ren[:nr])
+					nr = 0
+				}
+				ren[nr] = int32(i)
+				nr++
+			}
+		}
+		e.activeY.PushBlock(act[:na])
+		e.renewY.PushBlock(ren[:nr])
+	})
+	e.stats.AddStep(matching.StepStatistics, time.Since(t))
+
+	// Reset renewable Y state so those vertices can be reused (lines 6–7).
+	t = time.Now()
+	renewable := e.renewY.Slice()
+	renewDeg := par.NewCounter(p)
+	par.For(p, len(renewable), func(w, lo, hi int) {
+		var deg int64
+		for i := lo; i < hi; i++ {
+			y := renewable[i]
+			e.visitedClear(y)
+			e.rootY[y] = none
+			e.parentY[y] = none
+			deg += e.g.DegY(y)
+		}
+		renewDeg.Add(w, deg)
+	})
+	e.unvisitedY += int64(len(renewable))
+	e.unvisitedYEdges += renewDeg.Sum()
+
+	if e.opts.Grafting && float64(e.activeX.Len()) > float64(len(renewable))/e.opts.Alpha {
+		// Graft renewable Y vertices onto active trees (line 9).
+		e.next.Reset()
+		e.bottomUp(renewable)
+		e.finishLevel()
+		e.stats.Grafts++
+		e.stats.AddStep(matching.StepGraft, time.Since(t))
+		return
+	}
+
+	// Regrow from scratch (lines 11–15): clear active forest state and
+	// restart from the unmatched X vertices.
+	active := e.activeY.Slice()
+	activeDeg := par.NewCounter(p)
+	par.For(p, len(active), func(w, lo, hi int) {
+		var deg int64
+		for i := lo; i < hi; i++ {
+			y := active[i]
+			e.visitedClear(y)
+			e.rootY[y] = none
+			e.parentY[y] = none
+			deg += e.g.DegY(y)
+		}
+		activeDeg.Add(w, deg)
+	})
+	e.unvisitedY += int64(len(active))
+	e.unvisitedYEdges += activeDeg.Sum()
+	ax := e.activeX.Slice()
+	par.For(p, len(ax), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.rootX[ax[i]] = none
+		}
+	})
+	e.seedFrontierFromUnmatched()
+	e.stats.Rebuilds++
+	e.stats.AddStep(matching.StepGraft, time.Since(t))
+}
+
+// visitedTest reports whether y is claimed, using whichever visited
+// representation the run was configured with.
+func (e *engine) visitedTest(y int32) bool {
+	if e.bits != nil {
+		return e.bits.Test(y)
+	}
+	return atomic.LoadInt32(&e.visited[y]) != 0
+}
+
+// visitedTryClaim atomically claims y, reporting whether this caller won.
+func (e *engine) visitedTryClaim(y int32) bool {
+	if e.bits != nil {
+		return e.bits.TestAndSet(y)
+	}
+	return atomic.CompareAndSwapInt32(&e.visited[y], 0, 1)
+}
+
+// visitedSetOwned marks y claimed from a context that owns y exclusively
+// (bottom-up, where each y is processed by one worker).
+func (e *engine) visitedSetOwned(y int32) {
+	if e.bits != nil {
+		e.bits.Set(y)
+		return
+	}
+	e.visited[y] = 1
+}
+
+// visitedClear unclaims y at a phase barrier.
+func (e *engine) visitedClear(y int32) {
+	if e.bits != nil {
+		e.bits.Clear(y)
+		return
+	}
+	e.visited[y] = 0
+}

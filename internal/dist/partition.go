@@ -1,0 +1,89 @@
+// Package dist implements the distributed-memory MS-BFS-Graft algorithm the
+// paper's conclusion proposes as future work ("The MS-BFS-Graft algorithm
+// employs level synchronous BFSs for which efficient distributed algorithms
+// exist. In future, we plan to develop a distributed memory MS-BFS-Graft
+// algorithm").
+//
+// The implementation is a bulk-synchronous-parallel (BSP) simulation: the
+// graph is 1-D partitioned over K ranks, each rank owns the matching and
+// tree state of its vertices, and every remote access is an explicit
+// message exchanged at superstep barriers — the structure an MPI
+// implementation would have, with Go goroutines standing in for ranks.
+// Because there is no shared state, no atomics are needed: each owner
+// serializes claims on its own vertices. The engine reports supersteps and
+// message volume, the quantities that would govern real network cost.
+package dist
+
+// Partition is a 1-D block partition of the X and Y vertex sets over K
+// ranks. X vertex x is owned by OwnerX(x), Y vertex y by OwnerY(y).
+type Partition struct {
+	K  int
+	nx int32
+	ny int32
+}
+
+// NewPartition returns a block partition of nx X-vertices and ny Y-vertices
+// over k ranks (k clamped to at least 1).
+func NewPartition(k int, nx, ny int32) Partition {
+	if k < 1 {
+		k = 1
+	}
+	return Partition{K: k, nx: nx, ny: ny}
+}
+
+// blockOwner returns the owner of index i among n items in K near-equal
+// contiguous blocks (the first n%K blocks have one extra item).
+func (p Partition) blockOwner(i, n int32) int {
+	if n == 0 {
+		return 0
+	}
+	k := int32(p.K)
+	base := n / k
+	rem := n % k
+	// First rem blocks have size base+1.
+	cut := rem * (base + 1)
+	if i < cut {
+		return int(i / (base + 1))
+	}
+	if base == 0 {
+		return int(rem - 1) // more ranks than vertices: tail owns nothing
+	}
+	return int(rem + (i-cut)/base)
+}
+
+// OwnerX returns the rank owning X vertex x.
+func (p Partition) OwnerX(x int32) int { return p.blockOwner(x, p.nx) }
+
+// OwnerY returns the rank owning Y vertex y.
+func (p Partition) OwnerY(y int32) int { return p.blockOwner(y, p.ny) }
+
+// RangeX returns the half-open X-vertex range owned by rank r.
+func (p Partition) RangeX(r int) (lo, hi int32) { return p.blockRange(r, p.nx) }
+
+// RangeY returns the half-open Y-vertex range owned by rank r.
+func (p Partition) RangeY(r int) (lo, hi int32) { return p.blockRange(r, p.ny) }
+
+func (p Partition) blockRange(r int, n int32) (int32, int32) {
+	k := int32(p.K)
+	base := n / k
+	rem := n % k
+	r32 := int32(r)
+	var lo int32
+	if r32 <= rem {
+		lo = r32 * (base + 1)
+	} else {
+		lo = rem*(base+1) + (r32-rem)*base
+	}
+	size := base
+	if r32 < rem {
+		size = base + 1
+	}
+	hi := lo + size
+	if hi > n {
+		hi = n
+	}
+	if lo > n {
+		lo = n
+	}
+	return lo, hi
+}

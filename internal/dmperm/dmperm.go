@@ -1,0 +1,290 @@
+// Package dmperm computes the Dulmage–Mendelsohn decomposition and the
+// block triangular form (BTF) of a sparse matrix from a maximum cardinality
+// matching of its bipartite graph — the motivating application of the paper
+// (§I): once the BTF is obtained, sparse linear systems can be solved
+// block-by-block.
+//
+// The coarse decomposition splits rows (X) and columns (Y) into the
+// horizontal part H (reachable by alternating paths from unmatched rows),
+// the vertical part V (reachable from unmatched columns), and the square
+// part S, on which the matching is perfect. The fine decomposition finds
+// the strongly connected components of the square part's pair digraph
+// (Tarjan), yielding diagonal blocks in topological order.
+package dmperm
+
+import (
+	"fmt"
+
+	"graftmatch/internal/bipartite"
+	"graftmatch/internal/matching"
+)
+
+const none = matching.None
+
+// CoarseSet labels a vertex's coarse DM block.
+type CoarseSet int8
+
+// Coarse block labels.
+const (
+	Horizontal CoarseSet = iota // reachable from unmatched rows
+	Square                      // perfectly matched core
+	Vertical                    // reachable from unmatched columns
+)
+
+// Decomposition is the result of DM decomposition of an nx×ny sparse
+// pattern.
+type Decomposition struct {
+	// RowPerm and ColPerm map new position → original index. Rows are
+	// ordered H, S (by block), V; columns likewise.
+	RowPerm []int32
+	ColPerm []int32
+
+	// CoarseRow and CoarseCol give the coarse label of each original
+	// row/column.
+	CoarseRow []CoarseSet
+	CoarseCol []CoarseSet
+
+	// Blocks are the fine (square-part) diagonal blocks in topological
+	// order: Blocks[k] is the size of block k in matched pairs. The
+	// square part occupies rows HRows..HRows+SSize-1 of RowPerm.
+	Blocks []int32
+
+	// HRows, HCols are the sizes of the horizontal part; VRows, VCols of
+	// the vertical part; SSize the number of matched pairs in the square
+	// part.
+	HRows, HCols int32
+	VRows, VCols int32
+	SSize        int32
+}
+
+// NumBlocks returns the number of fine diagonal blocks.
+func (d *Decomposition) NumBlocks() int { return len(d.Blocks) }
+
+// Decompose computes the DM decomposition of g given a maximum matching m.
+// It returns an error if m is not a valid matching of g. (Maximality is
+// assumed; a non-maximum matching produces a coarse split that is not the
+// canonical DM one.)
+func Decompose(g *bipartite.Graph, m *matching.Matching) (*Decomposition, error) {
+	if err := m.Verify(g); err != nil {
+		return nil, err
+	}
+	nx, ny := g.NX(), g.NY()
+	d := &Decomposition{
+		CoarseRow: make([]CoarseSet, nx),
+		CoarseCol: make([]CoarseSet, ny),
+	}
+
+	// Coarse: H from unmatched rows via alternating reachability.
+	hX, hY, _ := matching.AlternatingReach(g, m)
+	// V from unmatched columns: alternating reachability in the transpose.
+	tm := &matching.Matching{MateX: m.MateY, MateY: m.MateX}
+	vY, vX, _ := matching.AlternatingReach(g.Transpose(), tm)
+
+	for x := int32(0); x < nx; x++ {
+		switch {
+		case hX[x]:
+			d.CoarseRow[x] = Horizontal
+			d.HRows++
+		case vX[x]:
+			d.CoarseRow[x] = Vertical
+			d.VRows++
+		default:
+			d.CoarseRow[x] = Square
+		}
+	}
+	for y := int32(0); y < ny; y++ {
+		switch {
+		case hY[y]:
+			d.CoarseCol[y] = Horizontal
+			d.HCols++
+		case vY[y]:
+			d.CoarseCol[y] = Vertical
+			d.VCols++
+		default:
+			d.CoarseCol[y] = Square
+		}
+	}
+
+	// Sanity: H and V cannot overlap when m is maximum (an alternating
+	// path from an unmatched row to an unmatched column would augment).
+	for x := int32(0); x < nx; x++ {
+		if hX[x] && vX[x] {
+			return nil, fmt.Errorf("dmperm: row %d in both H and V; matching is not maximum", x)
+		}
+	}
+
+	// Square part: matched pairs entirely inside S.
+	pairs := make([]int32, 0) // X ids of square matched pairs
+	pairIndex := make([]int32, nx)
+	for i := range pairIndex {
+		pairIndex[i] = none
+	}
+	for x := int32(0); x < nx; x++ {
+		if d.CoarseRow[x] != Square {
+			continue
+		}
+		y := m.MateX[x]
+		if y == none || d.CoarseCol[y] != Square {
+			return nil, fmt.Errorf("dmperm: square row %d not matched inside square part", x)
+		}
+		pairIndex[x] = int32(len(pairs))
+		pairs = append(pairs, x)
+	}
+	d.SSize = int32(len(pairs))
+
+	// Fine: SCCs of the pair digraph. Node u (pair (x_u, y_u)) has an arc
+	// to node v when x_u is adjacent to y_v, i.e. A[r_u, c_v] ≠ 0.
+	sccOf, sccSizes := tarjan(len(pairs), func(u int32, visit func(int32)) {
+		x := pairs[u]
+		for _, y := range g.NbrX(x) {
+			if d.CoarseCol[y] != Square {
+				continue
+			}
+			v := pairIndex[m.MateY[y]]
+			if v != u {
+				visit(v)
+			}
+		}
+	})
+
+	// Tarjan emits SCCs in reverse topological order; reverse for BTF
+	// (arcs point from earlier to later blocks → block upper triangular).
+	nb := len(sccSizes)
+	blockOf := make([]int32, nb)
+	d.Blocks = make([]int32, nb)
+	for i := 0; i < nb; i++ {
+		blockOf[i] = int32(nb - 1 - i)
+		d.Blocks[nb-1-i] = sccSizes[i]
+	}
+
+	// Assemble permutations: H rows, then square pairs grouped by block in
+	// topological order, then V rows. Columns symmetric (square columns
+	// take the mate of the row at the same position, keeping the matching
+	// on the diagonal of the square part).
+	d.RowPerm = make([]int32, 0, nx)
+	d.ColPerm = make([]int32, 0, ny)
+	for x := int32(0); x < nx; x++ {
+		if d.CoarseRow[x] == Horizontal {
+			d.RowPerm = append(d.RowPerm, x)
+		}
+	}
+	for y := int32(0); y < ny; y++ {
+		if d.CoarseCol[y] == Horizontal {
+			d.ColPerm = append(d.ColPerm, y)
+		}
+	}
+	// Bucket pairs by block.
+	offsets := make([]int32, nb+1)
+	for b := 0; b < nb; b++ {
+		offsets[b+1] = offsets[b] + d.Blocks[b]
+	}
+	square := make([]int32, len(pairs))
+	fill := make([]int32, nb)
+	for u, x := range pairs {
+		b := blockOf[sccOf[u]]
+		square[offsets[b]+fill[b]] = x
+		fill[b]++
+	}
+	for _, x := range square {
+		d.RowPerm = append(d.RowPerm, x)
+		d.ColPerm = append(d.ColPerm, m.MateX[x])
+	}
+	for x := int32(0); x < nx; x++ {
+		if d.CoarseRow[x] == Vertical {
+			d.RowPerm = append(d.RowPerm, x)
+		}
+	}
+	for y := int32(0); y < ny; y++ {
+		if d.CoarseCol[y] == Vertical {
+			d.ColPerm = append(d.ColPerm, y)
+		}
+	}
+	return d, nil
+}
+
+// tarjan computes strongly connected components of a digraph with n nodes
+// given by an adjacency callback, iteratively (no recursion). It returns
+// the component id of each node and the component sizes, components in
+// reverse topological order (standard Tarjan emission order).
+func tarjan(n int, forEachSucc func(u int32, visit func(int32))) (sccOf []int32, sizes []int32) {
+	sccOf = make([]int32, n)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = none
+		sccOf[i] = none
+	}
+	var stack []int32 // Tarjan vertex stack
+	var counter int32
+
+	type frame struct {
+		u     int32
+		succs []int32
+		next  int
+	}
+	var callStack []frame
+
+	gather := func(u int32) []int32 {
+		var s []int32
+		forEachSucc(u, func(v int32) { s = append(s, v) })
+		return s
+	}
+
+	for start := int32(0); start < int32(n); start++ {
+		if index[start] != none {
+			continue
+		}
+		callStack = callStack[:0]
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		callStack = append(callStack, frame{u: start, succs: gather(start)})
+
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.next < len(f.succs) {
+				v := f.succs[f.next]
+				f.next++
+				if index[v] == none {
+					index[v] = counter
+					low[v] = counter
+					counter++
+					stack = append(stack, v)
+					onStack[v] = true
+					callStack = append(callStack, frame{u: v, succs: gather(v)})
+				} else if onStack[v] && index[v] < low[f.u] {
+					low[f.u] = index[v]
+				}
+				continue
+			}
+			// Post-visit of f.u.
+			u := f.u
+			if low[u] == index[u] {
+				id := int32(len(sizes))
+				var size int32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					sccOf[w] = id
+					size++
+					if w == u {
+						break
+					}
+				}
+				sizes = append(sizes, size)
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := &callStack[len(callStack)-1]
+				if low[u] < low[parent.u] {
+					low[parent.u] = low[u]
+				}
+			}
+		}
+	}
+	return sccOf, sizes
+}

@@ -1,0 +1,396 @@
+package dmperm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graftmatch/internal/bipartite"
+	"graftmatch/internal/exps"
+	"graftmatch/internal/gen"
+	"graftmatch/internal/hk"
+	"graftmatch/internal/matching"
+	"graftmatch/internal/matchinit"
+)
+
+// maxMatch computes a maximum matching for tests.
+func maxMatch(g *bipartite.Graph) *matching.Matching {
+	m := matchinit.KarpSipser(g, 1)
+	hk.Run(g, m)
+	return m
+}
+
+func TestSquarePerfectMatrix(t *testing.T) {
+	// Block upper triangular 2-block matrix: block {0,1} and block {2}.
+	g := bipartite.MustFromEdges(3, 3, []bipartite.Edge{
+		{X: 0, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 0}, {X: 1, Y: 1}, // 2x2 block
+		{X: 0, Y: 2}, // upper off-diagonal entry
+		{X: 2, Y: 2}, // 1x1 block
+	})
+	m := maxMatch(g)
+	d, err := Decompose(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.HRows != 0 || d.VRows != 0 || d.SSize != 3 {
+		t.Fatalf("coarse sizes: %+v", d)
+	}
+	if d.NumBlocks() != 2 {
+		t.Fatalf("blocks = %v, want 2 blocks", d.Blocks)
+	}
+	checkBTF(t, g, m, d)
+}
+
+func TestIrreducibleMatrix(t *testing.T) {
+	// A cycle couples everything: single block.
+	g := bipartite.MustFromEdges(3, 3, []bipartite.Edge{
+		{X: 0, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 2}, {X: 2, Y: 2}, {X: 2, Y: 0},
+	})
+	d, err := Decompose(g, maxMatch(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumBlocks() != 1 || d.Blocks[0] != 3 {
+		t.Fatalf("blocks = %v, want one block of 3", d.Blocks)
+	}
+}
+
+func TestDiagonalMatrix(t *testing.T) {
+	g := bipartite.MustFromEdges(4, 4, []bipartite.Edge{
+		{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3},
+	})
+	d, err := Decompose(g, maxMatch(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumBlocks() != 4 {
+		t.Fatalf("diagonal matrix must give 4 singleton blocks, got %v", d.Blocks)
+	}
+}
+
+func TestCoarseParts(t *testing.T) {
+	// 3 rows, 2 cols: rows over-determined → some rows vertical...
+	// Rows 0,1 connect to col 0; row 2 to col 1. Max matching = 2;
+	// unmatched row reaches H.
+	g := bipartite.MustFromEdges(3, 2, []bipartite.Edge{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 1},
+	})
+	m := maxMatch(g)
+	d, err := Decompose(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One unmatched row: H contains it plus everything alternating-
+	// reachable (col 0 and its mate).
+	if d.HRows != 2 || d.HCols != 1 {
+		t.Fatalf("H part: rows=%d cols=%d, want 2,1", d.HRows, d.HCols)
+	}
+	if d.VRows != 0 || d.VCols != 0 {
+		t.Fatalf("V part: rows=%d cols=%d, want 0,0", d.VRows, d.VCols)
+	}
+	if d.SSize != 1 {
+		t.Fatalf("S size = %d, want 1", d.SSize)
+	}
+}
+
+func TestRejectsInvalidMatching(t *testing.T) {
+	g := bipartite.MustFromEdges(2, 2, []bipartite.Edge{{X: 0, Y: 0}, {X: 1, Y: 1}})
+	bad := matching.New(2, 2)
+	bad.MateX[0] = 1 // asymmetric
+	if _, err := Decompose(g, bad); err == nil {
+		t.Fatal("want error for invalid matching")
+	}
+}
+
+// checkBTF verifies the permuted square part is block upper triangular with
+// the matching on the diagonal.
+func checkBTF(t *testing.T, g *bipartite.Graph, m *matching.Matching, d *Decomposition) {
+	t.Helper()
+	// Positions of each original row/col in the permuted order.
+	rowPos := make(map[int32]int)
+	for i, x := range d.RowPerm {
+		rowPos[x] = i
+	}
+	colPos := make(map[int32]int)
+	for i, y := range d.ColPerm {
+		colPos[y] = i
+	}
+	// Square part occupies [HRows, HRows+SSize).
+	sLo := int(d.HRows)
+	sHi := sLo + int(d.SSize)
+	// Diagonal of the square part is matched.
+	for i := sLo; i < sHi; i++ {
+		x := d.RowPerm[i]
+		y := d.ColPerm[i-sLo+int(d.HCols)]
+		if m.MateX[x] != y {
+			t.Fatalf("square diagonal position %d is not a matched pair (%d,%d)", i, x, y)
+		}
+	}
+	// Block boundaries in permuted square coordinates.
+	blockOfPos := make([]int, d.SSize)
+	{
+		pos := 0
+		for b, size := range d.Blocks {
+			for k := int32(0); k < size; k++ {
+				blockOfPos[pos] = b
+				pos++
+			}
+		}
+	}
+	// No entry strictly below the block diagonal inside the square part:
+	// for edge (x,y) with both in S, block(row) must be ≤ block(col).
+	for x := int32(0); x < g.NX(); x++ {
+		if d.CoarseRow[x] != Square {
+			continue
+		}
+		ri := rowPos[x] - sLo
+		for _, y := range g.NbrX(x) {
+			if d.CoarseCol[y] != Square {
+				continue
+			}
+			ci := colPos[y] - int(d.HCols)
+			if blockOfPos[ri] > blockOfPos[ci] {
+				t.Fatalf("entry (%d,%d) below block diagonal: row block %d > col block %d",
+					x, y, blockOfPos[ri], blockOfPos[ci])
+			}
+		}
+	}
+}
+
+func TestBTFPropertyRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int32(rng.Intn(40) + 5)
+		b := bipartite.NewBuilder(n, n)
+		// Guarantee structural full rank via the diagonal, then sprinkle.
+		for i := int32(0); i < n; i++ {
+			_ = b.AddEdge(i, i)
+		}
+		for k := 0; k < int(n)*3; k++ {
+			_ = b.AddEdge(int32(rng.Intn(int(n))), int32(rng.Intn(int(n))))
+		}
+		g := b.Build()
+		m := maxMatch(g)
+		d, err := Decompose(g, m)
+		if err != nil {
+			return false
+		}
+		if d.SSize != n || d.HRows != 0 || d.VRows != 0 {
+			return false
+		}
+		// Block sizes sum to n.
+		var sum int32
+		for _, s := range d.Blocks {
+			sum += s
+		}
+		if sum != n {
+			return false
+		}
+		// Permutations are bijections.
+		seen := make([]bool, n)
+		for _, x := range d.RowPerm {
+			if seen[x] {
+				return false
+			}
+			seen[x] = true
+		}
+		checkBTF(t, g, m, d)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectangularDecomposition(t *testing.T) {
+	g := gen.ER(60, 40, 250, 3)
+	m := maxMatch(g)
+	d, err := Decompose(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int32(len(d.RowPerm)) != 60-countIsolatedRows(d) {
+		// RowPerm includes every row exactly once, including isolated ones
+		// (they land in H as unmatched). Just check bijection below.
+		t.Logf("perm len %d", len(d.RowPerm))
+	}
+	if int32(len(d.RowPerm)) != g.NX() || int32(len(d.ColPerm)) != g.NY() {
+		t.Fatalf("perm sizes %d,%d want %d,%d", len(d.RowPerm), len(d.ColPerm), g.NX(), g.NY())
+	}
+	seen := make([]bool, g.NX())
+	for _, x := range d.RowPerm {
+		if seen[x] {
+			t.Fatal("row perm not a bijection")
+		}
+		seen[x] = true
+	}
+	if d.HRows+d.SSize+d.VRows != g.NX() {
+		t.Fatalf("row parts %d+%d+%d != %d", d.HRows, d.SSize, d.VRows, g.NX())
+	}
+	if d.HCols+d.SSize+d.VCols != g.NY() {
+		t.Fatalf("col parts %d+%d+%d != %d", d.HCols, d.SSize, d.VCols, g.NY())
+	}
+}
+
+func countIsolatedRows(d *Decomposition) int32 { return 0 }
+
+func TestTarjanChain(t *testing.T) {
+	// 0 → 1 → 2: three SCCs in topological order after reversal.
+	succ := map[int32][]int32{0: {1}, 1: {2}, 2: {}}
+	sccOf, sizes := tarjan(3, func(u int32, visit func(int32)) {
+		for _, v := range succ[u] {
+			visit(v)
+		}
+	})
+	if len(sizes) != 3 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	// Tarjan emits sinks first: 2's SCC id < 1's < 0's.
+	if !(sccOf[2] < sccOf[1] && sccOf[1] < sccOf[0]) {
+		t.Fatalf("emission order wrong: %v", sccOf)
+	}
+}
+
+func TestTarjanCycleAndSelfLoops(t *testing.T) {
+	// 0↔1 cycle plus isolated 2.
+	succ := map[int32][]int32{0: {1}, 1: {0}, 2: {}}
+	sccOf, sizes := tarjan(3, func(u int32, visit func(int32)) {
+		for _, v := range succ[u] {
+			visit(v)
+		}
+	})
+	if len(sizes) != 2 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if sccOf[0] != sccOf[1] || sccOf[0] == sccOf[2] {
+		t.Fatalf("sccOf = %v", sccOf)
+	}
+}
+
+func TestTarjanLargeChainIterative(t *testing.T) {
+	// 100k-node chain: recursion would overflow; must complete.
+	n := 100000
+	sccOf, sizes := tarjan(n, func(u int32, visit func(int32)) {
+		if int(u)+1 < n {
+			visit(u + 1)
+		}
+	})
+	if len(sizes) != n {
+		t.Fatalf("want %d SCCs, got %d", n, len(sizes))
+	}
+	_ = sccOf
+}
+
+// TestSuiteDecompositionInvariants decomposes every synthetic suite
+// instance and checks the structural invariants of DM theory.
+func TestSuiteDecompositionInvariants(t *testing.T) {
+	for _, inst := range exps.Suite(exps.Small) {
+		g := inst.Graph
+		m := maxMatch(g)
+		d, err := Decompose(g, m)
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		card := m.Cardinality()
+		// Every unmatched row is horizontal; every unmatched column is
+		// vertical. |H rows| - |H cols| = #unmatched rows, symmetric for V.
+		unmatchedRows := int64(g.NX()) - card
+		unmatchedCols := int64(g.NY()) - card
+		if int64(d.HRows-d.HCols) != unmatchedRows {
+			t.Fatalf("%s: HRows-HCols = %d, want %d", inst.Name, d.HRows-d.HCols, unmatchedRows)
+		}
+		if int64(d.VCols-d.VRows) != unmatchedCols {
+			t.Fatalf("%s: VCols-VRows = %d, want %d", inst.Name, d.VCols-d.VRows, unmatchedCols)
+		}
+		// Part sizes tile the vertex sets.
+		if d.HRows+d.SSize+d.VRows != g.NX() || d.HCols+d.SSize+d.VCols != g.NY() {
+			t.Fatalf("%s: parts do not tile", inst.Name)
+		}
+		// Fine blocks tile the square part.
+		var sum int32
+		for _, b := range d.Blocks {
+			if b <= 0 {
+				t.Fatalf("%s: empty block", inst.Name)
+			}
+			sum += b
+		}
+		if sum != d.SSize {
+			t.Fatalf("%s: blocks sum %d != SSize %d", inst.Name, sum, d.SSize)
+		}
+		// Permutations are bijections.
+		seenR := make([]bool, g.NX())
+		for _, x := range d.RowPerm {
+			if seenR[x] {
+				t.Fatalf("%s: duplicate row %d", inst.Name, x)
+			}
+			seenR[x] = true
+		}
+		seenC := make([]bool, g.NY())
+		for _, y := range d.ColPerm {
+			if seenC[y] {
+				t.Fatalf("%s: duplicate col %d", inst.Name, y)
+			}
+			seenC[y] = true
+		}
+		checkBTF(t, g, m, d)
+	}
+}
+
+// TestNoEdgesDecomposition: a matrix with no entries has everything
+// horizontal+vertical and an empty square part.
+func TestNoEdgesDecomposition(t *testing.T) {
+	g := bipartite.MustFromEdges(3, 4, nil)
+	d, err := Decompose(g, matching.New(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SSize != 0 || d.NumBlocks() != 0 {
+		t.Fatalf("square part of empty matrix: %+v", d)
+	}
+	if d.HRows != 3 || d.VCols != 4 {
+		t.Fatalf("coarse parts: %+v", d)
+	}
+}
+
+// TestPermutedMatrixIsBTF applies the decomposition's permutations with
+// bipartite.Permute and verifies the resulting matrix structure directly:
+// inside the square part no entry lies below the block diagonal, an
+// independent re-derivation of checkBTF through the public permutation API.
+func TestPermutedMatrixIsBTF(t *testing.T) {
+	g := gen.Banded(80, 3, 0.8, 5)
+	m := maxMatch(g)
+	d, err := Decompose(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := bipartite.Permute(g, d.RowPerm, d.ColPerm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block boundary per permuted square position.
+	blockOf := make([]int, d.SSize)
+	pos := 0
+	for b, size := range d.Blocks {
+		for k := int32(0); k < size; k++ {
+			blockOf[pos] = b
+			pos++
+		}
+	}
+	sRowLo, sColLo := int32(d.HRows), int32(d.HCols)
+	for i := int32(0); i < d.SSize; i++ {
+		r := sRowLo + i
+		for _, c := range p.NbrX(r) {
+			j := c - sColLo
+			if j < 0 || j >= d.SSize {
+				continue // entry couples into H or V parts
+			}
+			if blockOf[i] > blockOf[j] {
+				t.Fatalf("permuted entry (%d,%d) below block diagonal", r, c)
+			}
+		}
+		// Diagonal entry exists (the matched pair).
+		if !p.HasEdge(r, sColLo+i) {
+			t.Fatalf("square diagonal position %d empty after permutation", i)
+		}
+	}
+}

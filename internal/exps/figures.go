@@ -1,0 +1,342 @@
+package exps
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"graftmatch/internal/matching"
+	"graftmatch/internal/par"
+)
+
+// Config controls experiment execution.
+type Config struct {
+	// Scale selects suite sizes.
+	Scale Scale
+	// Threads is the "full machine" thread count P; 0 means GOMAXPROCS.
+	Threads int
+	// Reps is the repetition count for timed cells; 0 means 3
+	// (the paper uses 10; see -reps in cmd/matchbench).
+	Reps int
+}
+
+func (c Config) defaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = par.DefaultWorkers()
+	}
+	if c.Reps <= 0 {
+		c.Reps = defaultReps
+	}
+	return c
+}
+
+// TableI reports the execution environment, the stand-in for the paper's
+// machine-description table.
+func TableI(cfg Config) *Table {
+	cfg = cfg.defaults()
+	t := &Table{
+		Title:  "Table I: system description (this host)",
+		Header: []string{"feature", "value"},
+	}
+	t.AddRow("go version", runtime.Version())
+	t.AddRow("GOOS/GOARCH", runtime.GOOS+"/"+runtime.GOARCH)
+	t.AddRow("logical CPUs", fI(int64(runtime.NumCPU())))
+	t.AddRow("GOMAXPROCS", fI(int64(runtime.GOMAXPROCS(0))))
+	t.AddRow("benchmark threads (P)", fI(int64(cfg.Threads)))
+	t.AddNote("paper: Mirasol 4×10-core Westmere-EX, Edison 2×12-core Ivy Bridge")
+	return t
+}
+
+// TableII reports the suite: sizes, degrees, and the matching number as a
+// fraction of |V| (computed exactly with MS-BFS-Graft), grouped by class.
+func TableII(cfg Config) *Table {
+	cfg = cfg.defaults()
+	t := &Table{
+		Title:  "Table II: input graph suite (synthetic stand-ins)",
+		Header: []string{"class", "graph", "|X|", "|Y|", "m=|E|", "avg deg", "matching frac"},
+	}
+	for _, inst := range Suite(cfg.Scale) {
+		g := inst.Graph
+		stats := Run(AlgoGraft, g, cfg.Threads)
+		frac := float64(2*stats.FinalCardinality) / float64(g.NumVertices())
+		t.AddRow(inst.Class.String(), inst.Name,
+			fI(int64(g.NX())), fI(int64(g.NY())), fI(g.NumArcs()),
+			f2(float64(g.NumArcs())/float64(g.NumVertices())), f2(frac))
+	}
+	t.AddNote("matching frac = 2|M| / (|X|+|Y|), the paper's matching-number convention")
+	return t
+}
+
+// fig1Algos are the five serial algorithms compared in Fig. 1.
+var fig1Algos = []Algo{AlgoSSDFS, AlgoSSBFS, AlgoPF, AlgoMSBFS, AlgoHK}
+
+// Fig1 reproduces Fig. 1(a,b,c): edges traversed, number of phases, and
+// average augmenting path length of five serial algorithms on the three
+// representative graphs, all Karp–Sipser initialized.
+func Fig1(cfg Config) []*Table {
+	cfg = cfg.defaults()
+	edges := &Table{Title: "Fig. 1(a): edges traversed (serial, greedy init)",
+		Header: []string{"graph"}}
+	phases := &Table{Title: "Fig. 1(b): number of phases",
+		Header: []string{"graph"}}
+	plens := &Table{Title: "Fig. 1(c): average augmenting path length",
+		Header: []string{"graph"}}
+	for _, a := range fig1Algos {
+		edges.Header = append(edges.Header, string(a))
+		phases.Header = append(phases.Header, string(a))
+		plens.Header = append(plens.Header, string(a))
+	}
+	for _, inst := range Fig1Suite(cfg.Scale) {
+		er := []string{inst.Name}
+		pr := []string{inst.Name}
+		lr := []string{inst.Name}
+		for _, a := range fig1Algos {
+			s := Run(a, inst.Graph, 1)
+			er = append(er, fI(s.EdgesTraversed))
+			pr = append(pr, fI(s.Phases))
+			lr = append(lr, f2(s.AvgAugPathLen()))
+		}
+		edges.AddRow(er...)
+		phases.AddRow(pr...)
+		plens.AddRow(lr...)
+	}
+	return []*Table{edges, phases, plens}
+}
+
+// Fig3 reproduces Fig. 3: relative performance of MS-BFS-Graft, PF and PR
+// on one thread and on P threads. Speedups are relative to the slowest
+// algorithm on each graph (slowest = 1), the paper's normalization.
+func Fig3(cfg Config) *Table {
+	cfg = cfg.defaults()
+	algos := []Algo{AlgoGraft, AlgoPF, AlgoPR}
+	t := &Table{
+		Title: fmt.Sprintf("Fig. 3: relative speedup vs slowest (1 and %d threads, %d reps)", cfg.Threads, cfg.Reps),
+		Header: []string{"class", "graph",
+			"Graft(1t)", "PF(1t)", "PR(1t)",
+			fmt.Sprintf("Graft(%dt)", cfg.Threads),
+			fmt.Sprintf("PF(%dt)", cfg.Threads),
+			fmt.Sprintf("PR(%dt)", cfg.Threads)},
+	}
+	type cell struct{ mean time.Duration }
+	for _, inst := range Suite(cfg.Scale) {
+		row := []string{inst.Class.String(), inst.Name}
+		for _, p := range []int{1, cfg.Threads} {
+			times := make([]cell, len(algos))
+			var slowest time.Duration
+			for i, a := range algos {
+				tm := Measure(a, inst.Graph, p, cfg.Reps)
+				times[i] = cell{tm.Mean}
+				if tm.Mean > slowest {
+					slowest = tm.Mean
+				}
+			}
+			for _, c := range times {
+				if c.mean <= 0 {
+					row = append(row, "1.00")
+					continue
+				}
+				row = append(row, f2(float64(slowest)/float64(c.mean)))
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("per graph and thread count, slowest algorithm = 1.00")
+	return t
+}
+
+// Fig4 reproduces Fig. 4: search rate in MTEPS (traversed edges / runtime)
+// of Pothen–Fan vs MS-BFS-Graft on P threads.
+func Fig4(cfg Config) *Table {
+	cfg = cfg.defaults()
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 4: search rate in MTEPS (%d threads)", cfg.Threads),
+		Header: []string{"graph", "Pothen-Fan", "MS-BFS-Graft", "ratio"},
+	}
+	for _, inst := range Suite(cfg.Scale) {
+		pfT := Measure(AlgoPF, inst.Graph, cfg.Threads, cfg.Reps)
+		gfT := Measure(AlgoGraft, inst.Graph, cfg.Threads, cfg.Reps)
+		pfRate := mteps(pfT)
+		gfRate := mteps(gfT)
+		ratio := 0.0
+		if pfRate > 0 {
+			ratio = gfRate / pfRate
+		}
+		t.AddRow(inst.Name, f2(pfRate), f2(gfRate), f2(ratio))
+	}
+	t.AddNote("paper: graft searches 2-12x faster than PF, largest on low matching number")
+	return t
+}
+
+func mteps(t Timing) float64 {
+	if t.Mean <= 0 {
+		return 0
+	}
+	return float64(t.Last.EdgesTraversed) / t.Mean.Seconds() / 1e6
+}
+
+// Fig5 reproduces Fig. 5: strong scaling of MS-BFS-Graft. For each class,
+// the average speedup over its instances at each thread count, relative to
+// the serial MS-BFS-Graft run.
+func Fig5(cfg Config) *Table {
+	cfg = cfg.defaults()
+	threads := threadSweep(cfg.Threads)
+	t := &Table{Title: "Fig. 5: strong scaling of MS-BFS-Graft (speedup vs 1 thread)",
+		Header: []string{"class"}}
+	for _, p := range threads {
+		t.Header = append(t.Header, fmt.Sprintf("p=%d", p))
+	}
+	byClass := map[Class][]Instance{}
+	for _, inst := range Suite(cfg.Scale) {
+		byClass[inst.Class] = append(byClass[inst.Class], inst)
+	}
+	for _, c := range Classes() {
+		insts := byClass[c]
+		row := []string{c.String()}
+		serial := make([]time.Duration, len(insts))
+		for i, inst := range insts {
+			serial[i] = Measure(AlgoGraft, inst.Graph, 1, cfg.Reps).Mean
+		}
+		for _, p := range threads {
+			var sum float64
+			for i, inst := range insts {
+				tm := Measure(AlgoGraft, inst.Graph, p, cfg.Reps)
+				if tm.Mean > 0 {
+					sum += float64(serial[i]) / float64(tm.Mean)
+				}
+			}
+			row = append(row, f2(sum/float64(len(insts))))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func threadSweep(max int) []int {
+	sweep := []int{1}
+	for p := 2; p < max; p *= 2 {
+		sweep = append(sweep, p)
+	}
+	if max > 1 {
+		sweep = append(sweep, max)
+	}
+	return sweep
+}
+
+// Fig6 reproduces Fig. 6: the breakdown of MS-BFS-Graft runtime into
+// Top-Down, Bottom-Up, Augment, Tree-Grafting and Statistics steps.
+func Fig6(cfg Config) *Table {
+	cfg = cfg.defaults()
+	steps := []matching.Step{matching.StepTopDown, matching.StepBottomUp,
+		matching.StepAugment, matching.StepGraft, matching.StepStatistics}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 6: runtime breakdown of MS-BFS-Graft (%%, %d threads)", cfg.Threads),
+		Header: []string{"graph"},
+	}
+	for _, s := range steps {
+		t.Header = append(t.Header, s.String())
+	}
+	for _, inst := range Suite(cfg.Scale) {
+		s := Run(AlgoGraft, inst.Graph, cfg.Threads)
+		row := []string{inst.Name}
+		for _, step := range steps {
+			row = append(row, f2(s.StepShare(step)*100))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: ≥40%% of time in BFS traversal; low-matching graphs shift to augment+graft")
+	return t
+}
+
+// Fig7 reproduces Fig. 7: the contribution of direction optimization and
+// tree grafting, reported as speedup over plain parallel MS-BFS.
+func Fig7(cfg Config) *Table {
+	cfg = cfg.defaults()
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 7: performance contributions over MS-BFS (%d threads)", cfg.Threads),
+		Header: []string{"graph", "MS-BFS(ms)", "+DirOpt", "+Graft", "+Both(Graft alg)"},
+	}
+	for _, inst := range Suite(cfg.Scale) {
+		base := Measure(AlgoMSBFS, inst.Graph, cfg.Threads, cfg.Reps)
+		dir := Measure(AlgoDirOpt, inst.Graph, cfg.Threads, cfg.Reps)
+		gr := Measure(AlgoGraftTD, inst.Graph, cfg.Threads, cfg.Reps)
+		both := Measure(AlgoGraft, inst.Graph, cfg.Threads, cfg.Reps)
+		t.AddRow(inst.Name,
+			f2(float64(base.Mean)/1e6),
+			speedupStr(base.Mean, dir.Mean),
+			speedupStr(base.Mean, gr.Mean),
+			speedupStr(base.Mean, both.Mean))
+	}
+	t.AddNote("paper: direction opt ≈1.6x, grafting ≈3x on average; up to 7.8x on low matching number")
+	return t
+}
+
+func speedupStr(base, v time.Duration) string {
+	if v <= 0 {
+		return "inf"
+	}
+	return f2(float64(base) / float64(v))
+}
+
+// Fig8 reproduces Fig. 8: frontier size per BFS level during two phases of
+// MS-BFS and MS-BFS-Graft on the coPapersDBLP stand-in. Grafted phases
+// start from a large frontier that only shrinks; ungrafted phases grow from
+// the unmatched vertices before shrinking.
+func Fig8(cfg Config) *Table {
+	cfg = cfg.defaults()
+	inst, ok := ByName(cfg.Scale, "coPapersDBLP")
+	if !ok {
+		panic("exps: coPapersDBLP missing from suite")
+	}
+	graft := RunTraced(AlgoGraft, inst.Graph, cfg.Threads)
+	plain := RunTraced(AlgoMSBFS, inst.Graph, cfg.Threads)
+	t := &Table{
+		Title:  "Fig. 8: frontier sizes per level (phases 2-3, coPapersDBLP stand-in)",
+		Header: []string{"algorithm", "phase", "levels..."},
+	}
+	addTrace := func(name string, trace [][]int64) {
+		for pi, phase := range trace {
+			if pi == 0 || pi > 2 {
+				continue // the figure shows two later phases
+			}
+			row := []string{name, fI(int64(pi + 1))}
+			for _, sz := range phase {
+				row = append(row, fI(sz))
+			}
+			t.AddRow(row...)
+		}
+	}
+	addTrace("MS-BFS", plain.FrontierTrace)
+	addTrace("MS-BFS-Graft", graft.FrontierTrace)
+	t.AddNote("graft rows should start large and shrink; plain rows grow then shrink")
+	return t
+}
+
+// Psi reproduces the §V-B experiment: runtime variability ψ = σ/μ (%) of
+// the three parallel algorithms over repeated runs.
+func Psi(cfg Config) *Table {
+	cfg = cfg.defaults()
+	reps := cfg.Reps
+	if reps < 5 {
+		reps = 5
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("§V-B: parallel runtime sensitivity ψ=σ/μ (%%, %d threads, %d reps)", cfg.Threads, reps),
+		Header: []string{"graph", "MS-BFS-Graft", "PF", "PR"},
+	}
+	var sums [3]float64
+	n := 0
+	for _, inst := range Suite(cfg.Scale) {
+		row := []string{inst.Name}
+		for i, a := range []Algo{AlgoGraft, AlgoPF, AlgoPR} {
+			tm := Measure(a, inst.Graph, cfg.Threads, reps)
+			psi := tm.Sensitivity()
+			sums[i] += psi
+			row = append(row, f2(psi))
+		}
+		n++
+		t.AddRow(row...)
+	}
+	t.AddRow("AVERAGE", f2(sums[0]/float64(n)), f2(sums[1]/float64(n)), f2(sums[2]/float64(n)))
+	t.AddNote("paper averages: graft 6%%, PR 10%%, PF 17%%")
+	return t
+}

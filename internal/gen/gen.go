@@ -1,0 +1,313 @@
+// Package gen provides seeded synthetic bipartite graph generators standing
+// in for the paper's input suite (§IV-B, Table II). The paper groups its
+// inputs into three classes that drive algorithm behaviour through matching
+// number, degree skew, and diameter:
+//
+//   - scientific computing & road networks (grid/mesh/lattice: near-perfect
+//     matching number, low degree, high diameter) — Grid, Mesh, RoadNet;
+//   - scale-free graphs (skewed degrees, low diameter) — RMAT, ScaleFree;
+//   - web & other networks with LOW matching number (rank-deficient,
+//     skewed) — WebLike, RankDeficient.
+//
+// All generators are deterministic for a given seed.
+package gen
+
+import (
+	"math/rand"
+
+	"graftmatch/internal/bipartite"
+)
+
+// ER generates an Erdős–Rényi-style random bipartite graph with nx, ny
+// vertices and approximately m distinct edges.
+func ER(nx, ny int32, m int64, seed int64) *bipartite.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := bipartite.NewBuilder(nx, ny)
+	b.Reserve(int(m))
+	if nx == 0 || ny == 0 {
+		return b.Build()
+	}
+	for i := int64(0); i < m; i++ {
+		x := int32(rng.Intn(int(nx)))
+		y := int32(rng.Intn(int(ny)))
+		_ = b.AddEdge(x, y)
+	}
+	return b.Build()
+}
+
+// Grid generates a 2-D five-point-stencil mesh interpreted as the bipartite
+// graph of a rows×cols sparse matrix (vertex (i,j) row connected to its own
+// column and the columns of its lattice neighbors). Such matrices come from
+// PDE discretizations — the paper's "scientific computing" class — and have
+// a perfect or near-perfect matching.
+func Grid(rows, cols int32) *bipartite.Graph {
+	n := rows * cols
+	b := bipartite.NewBuilder(n, n)
+	b.Reserve(int(5 * int64(n)))
+	id := func(i, j int32) int32 { return i*cols + j }
+	for i := int32(0); i < rows; i++ {
+		for j := int32(0); j < cols; j++ {
+			v := id(i, j)
+			_ = b.AddEdge(v, v)
+			if i > 0 {
+				_ = b.AddEdge(v, id(i-1, j))
+			}
+			if i < rows-1 {
+				_ = b.AddEdge(v, id(i+1, j))
+			}
+			if j > 0 {
+				_ = b.AddEdge(v, id(i, j-1))
+			}
+			if j < cols-1 {
+				_ = b.AddEdge(v, id(i, j+1))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Mesh generates a randomized triangulated mesh-like matrix (grid plus one
+// random diagonal per cell), a stand-in for delaunay/hugetrace instances.
+func Mesh(rows, cols int32, seed int64) *bipartite.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := rows * cols
+	b := bipartite.NewBuilder(n, n)
+	b.Reserve(int(6 * int64(n)))
+	id := func(i, j int32) int32 { return i*cols + j }
+	for i := int32(0); i < rows; i++ {
+		for j := int32(0); j < cols; j++ {
+			v := id(i, j)
+			_ = b.AddEdge(v, v)
+			if i > 0 {
+				_ = b.AddEdge(v, id(i-1, j))
+			}
+			if j > 0 {
+				_ = b.AddEdge(v, id(i, j-1))
+			}
+			if i > 0 && j > 0 {
+				if rng.Intn(2) == 0 {
+					_ = b.AddEdge(v, id(i-1, j-1))
+				} else {
+					_ = b.AddEdge(id(i, j-1), id(i-1, j))
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RoadNet generates a road-network-like instance: a sparse lattice with
+// random edge deletions and a few long-range shortcuts. Low, near-uniform
+// degree and very high diameter, standing in for road_usa.
+func RoadNet(rows, cols int32, keepProb float64, seed int64) *bipartite.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := rows * cols
+	b := bipartite.NewBuilder(n, n)
+	b.Reserve(int(4 * int64(n)))
+	id := func(i, j int32) int32 { return i*cols + j }
+	for i := int32(0); i < rows; i++ {
+		for j := int32(0); j < cols; j++ {
+			v := id(i, j)
+			_ = b.AddEdge(v, v)
+			if i > 0 && rng.Float64() < keepProb {
+				_ = b.AddEdge(v, id(i-1, j))
+				_ = b.AddEdge(id(i-1, j), v)
+			}
+			if j > 0 && rng.Float64() < keepProb {
+				_ = b.AddEdge(v, id(i, j-1))
+				_ = b.AddEdge(id(i, j-1), v)
+			}
+		}
+	}
+	// A sprinkle of shortcuts (ramps/bridges).
+	for k := int32(0); k < n/64; k++ {
+		x := int32(rng.Intn(int(n)))
+		y := int32(rng.Intn(int(n)))
+		_ = b.AddEdge(x, y)
+	}
+	return b.Build()
+}
+
+// RMAT generates a Graph500-style RMAT bipartite graph of 2^scale vertices
+// per side and edgeFactor·2^scale edges using recursive quadrant sampling
+// with probabilities (a, b, c, d), a+b+c+d = 1. The default Graph500
+// parameters are (0.57, 0.19, 0.19, 0.05).
+func RMAT(scale int, edgeFactor int, a, bb, c float64, seed int64) *bipartite.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := int32(1) << scale
+	m := int64(edgeFactor) * int64(n)
+	b := bipartite.NewBuilder(n, n)
+	b.Reserve(int(m))
+	for i := int64(0); i < m; i++ {
+		x, y := rmatEdge(rng, scale, a, bb, c)
+		_ = b.AddEdge(x, y)
+	}
+	return b.Build()
+}
+
+func rmatEdge(rng *rand.Rand, scale int, a, b, c float64) (int32, int32) {
+	var x, y int32
+	for bit := 0; bit < scale; bit++ {
+		r := rng.Float64()
+		switch {
+		case r < a:
+			// upper-left: nothing set
+		case r < a+b:
+			y |= 1 << bit
+		case r < a+b+c:
+			x |= 1 << bit
+		default:
+			x |= 1 << bit
+			y |= 1 << bit
+		}
+	}
+	return x, y
+}
+
+// ScaleFree generates a preferential-attachment bipartite graph: each new X
+// vertex attaches k edges to Y vertices chosen proportionally to their
+// current degree (plus one smoothing). Stands in for coPapersDBLP /
+// amazon0312 / cit-patents style graphs.
+func ScaleFree(nx, ny int32, k int, seed int64) *bipartite.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := bipartite.NewBuilder(nx, ny)
+	b.Reserve(int(nx) * k)
+	if ny == 0 {
+		return b.Build()
+	}
+	// Repeated-endpoint list implements preferential attachment: sampling
+	// a uniform element of hits is proportional to degree+implicit prior.
+	hits := make([]int32, 0, int(nx)*k)
+	for x := int32(0); x < nx; x++ {
+		for e := 0; e < k; e++ {
+			var y int32
+			if len(hits) == 0 || rng.Float64() < 0.2 {
+				y = int32(rng.Intn(int(ny)))
+			} else {
+				y = hits[rng.Intn(len(hits))]
+			}
+			_ = b.AddEdge(x, y)
+			hits = append(hits, y)
+		}
+	}
+	return b.Build()
+}
+
+// WebLike generates a web-crawl-like graph with strongly skewed degrees and
+// a LOW matching number: a fraction deadFrac of X vertices keep all their
+// edges but have them redirected into a small saturated hub core of Y
+// vertices, the structure of crawl graphs where millions of leaf pages all
+// point at the same popular hubs. Those X vertices are unmatchable once the
+// core saturates, yet their alternating search trees are large — exactly
+// the regime in which failed trees are expensive to rebuild and tree
+// grafting pays off (§V-A, third input class: wikipedia / web-Google /
+// wb-edu).
+func WebLike(scale int, edgeFactor int, deadFrac float64, seed int64) *bipartite.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := int32(1) << scale
+	m := int64(edgeFactor) * int64(n)
+	core := n / 8
+	if core < 1 {
+		core = 1
+	}
+	dead := make([]bool, n)
+	for i := range dead {
+		dead[i] = rng.Float64() < deadFrac
+	}
+	b := bipartite.NewBuilder(n, n)
+	b.Reserve(int(m))
+	for i := int64(0); i < m; i++ {
+		x, y := rmatEdge(rng, scale, 0.65, 0.15, 0.15)
+		if dead[x] {
+			y %= core // leaf pages link only into the popular hub core
+		}
+		_ = b.AddEdge(x, y)
+	}
+	return b.Build()
+}
+
+// RankDeficient generates a graph whose maximum matching is exactly
+// targetCard, far below min(nx, ny): X vertices 0..targetCard-1 get a
+// private Y partner plus random extras, and every other X vertex connects
+// only into the same deficient Y core, so König's bound caps the matching.
+// This gives precise control of the matching number fraction.
+func RankDeficient(nx, ny, targetCard int32, extraPerX int, seed int64) *bipartite.Graph {
+	if targetCard > nx {
+		targetCard = nx
+	}
+	if targetCard > ny {
+		targetCard = ny
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := bipartite.NewBuilder(nx, ny)
+	b.Reserve(int(nx) * (extraPerX + 1))
+	for x := int32(0); x < nx; x++ {
+		if x < targetCard {
+			_ = b.AddEdge(x, x)
+		}
+		for e := 0; e < extraPerX; e++ {
+			// All random edges land inside the Y core [0, targetCard),
+			// so Y-core is a vertex cover of size targetCard.
+			if targetCard > 0 {
+				_ = b.AddEdge(x, int32(rng.Intn(int(targetCard))))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Banded generates a banded square matrix graph (diagonal plus band offsets),
+// a kkt_power-ish structured scientific instance with perfect matching.
+func Banded(n int32, band int, fillProb float64, seed int64) *bipartite.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := bipartite.NewBuilder(n, n)
+	b.Reserve(int(n) * (2*band + 1))
+	for i := int32(0); i < n; i++ {
+		_ = b.AddEdge(i, i)
+		for d := 1; d <= band; d++ {
+			if j := i - int32(d); j >= 0 && rng.Float64() < fillProb {
+				_ = b.AddEdge(i, j)
+			}
+			if j := i + int32(d); j < n && rng.Float64() < fillProb {
+				_ = b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// StripDiagonal returns a copy of g without the self edges (x, x). Matrix
+// families whose diagonal is structurally zero — KKT saddle-point systems,
+// graph adjacency matrices like road networks — are modeled this way; it
+// also restores the initializer/exact-phase split those matrices exhibit
+// (a structurally nonzero diagonal makes greedy initialization trivially
+// optimal on banded instances).
+func StripDiagonal(g *bipartite.Graph) *bipartite.Graph {
+	b := bipartite.NewBuilder(g.NX(), g.NY())
+	b.Reserve(int(g.NumEdges()))
+	for x := int32(0); x < g.NX(); x++ {
+		for _, y := range g.NbrX(x) {
+			if x != y {
+				_ = b.AddEdge(x, y)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Chain generates the length-n path graph x0-y0-x1-y1-…: edges (i, i) and
+// (i+1, i). Its maximum matching is perfect (n); pre-matching (i+1, i) for
+// all i leaves a single augmenting path that traverses the entire graph —
+// the worst case for augmenting-path length that the tests and the
+// distributed cost model use.
+func Chain(n int32) *bipartite.Graph {
+	b := bipartite.NewBuilder(n, n)
+	b.Reserve(int(2 * n))
+	for i := int32(0); i < n; i++ {
+		_ = b.AddEdge(i, i)
+		if i+1 < n {
+			_ = b.AddEdge(i+1, i)
+		}
+	}
+	return b.Build()
+}

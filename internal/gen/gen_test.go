@@ -1,0 +1,216 @@
+package gen
+
+import (
+	"testing"
+
+	"graftmatch/internal/bipartite"
+)
+
+func validate(t *testing.T, g *bipartite.Graph) {
+	t.Helper()
+	if err := bipartite.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestERDeterministic(t *testing.T) {
+	a := ER(50, 60, 200, 7)
+	b := ER(50, 60, 200, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	ea, eb := a.Edges(nil), b.Edges(nil)
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("same seed, different edges at %d", i)
+		}
+	}
+	c := ER(50, 60, 200, 8)
+	ec := c.Edges(nil)
+	same := len(ec) == len(ea)
+	if same {
+		for i := range ea {
+			if ea[i] != ec[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestERShapes(t *testing.T) {
+	g := ER(100, 50, 300, 1)
+	if g.NX() != 100 || g.NY() != 50 {
+		t.Fatalf("sizes %d,%d", g.NX(), g.NY())
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 300 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	validate(t, g)
+	empty := ER(0, 10, 50, 1)
+	if empty.NumEdges() != 0 {
+		t.Fatal("edges in empty part graph")
+	}
+}
+
+func TestGridPerfectStructure(t *testing.T) {
+	g := Grid(8, 8)
+	validate(t, g)
+	if g.NX() != 64 || g.NY() != 64 {
+		t.Fatalf("sizes %d,%d", g.NX(), g.NY())
+	}
+	// Diagonal present: every vertex has its own column → perfect matching
+	// exists trivially.
+	for v := int32(0); v < 64; v++ {
+		if !g.HasEdge(v, v) {
+			t.Fatalf("diagonal (%d,%d) missing", v, v)
+		}
+	}
+	// Interior vertex has 5 neighbors (self + 4 lattice).
+	interior := int32(3*8 + 3)
+	if d := g.DegX(interior); d != 5 {
+		t.Fatalf("interior degree = %d, want 5", d)
+	}
+	// Corner has 3.
+	if d := g.DegX(0); d != 3 {
+		t.Fatalf("corner degree = %d, want 3", d)
+	}
+}
+
+func TestMesh(t *testing.T) {
+	g := Mesh(6, 7, 3)
+	validate(t, g)
+	if g.NX() != 42 || g.NY() != 42 {
+		t.Fatalf("sizes %d,%d", g.NX(), g.NY())
+	}
+	for v := int32(0); v < 42; v++ {
+		if !g.HasEdge(v, v) {
+			t.Fatalf("diagonal missing at %d", v)
+		}
+	}
+}
+
+func TestRoadNet(t *testing.T) {
+	g := RoadNet(10, 10, 0.9, 2)
+	validate(t, g)
+	s := bipartite.ComputeStats(g)
+	if s.MaxDegX > 12 {
+		t.Fatalf("road network should have low degree, max = %d", s.MaxDegX)
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	g := RMAT(10, 8, 0.57, 0.19, 0.19, 3)
+	validate(t, g)
+	if g.NX() != 1024 {
+		t.Fatalf("nx = %d", g.NX())
+	}
+	s := bipartite.ComputeStats(g)
+	// RMAT with Graph500 parameters is heavily skewed.
+	if s.DegSkewX < 5 {
+		t.Fatalf("RMAT skew = %f, want > 5", s.DegSkewX)
+	}
+}
+
+func TestScaleFreeSkew(t *testing.T) {
+	g := ScaleFree(512, 512, 4, 4)
+	validate(t, g)
+	s := bipartite.ComputeStats(g)
+	if s.MaxDegY < 3*int64(s.MeanDegY) {
+		t.Fatalf("scale-free Y degrees not skewed: max=%d mean=%f", s.MaxDegY, s.MeanDegY)
+	}
+	if trivial := ScaleFree(4, 0, 2, 1); trivial.NumEdges() != 0 {
+		t.Fatal("edges with empty Y part")
+	}
+}
+
+func TestWebLikeLowMatchingNumber(t *testing.T) {
+	g := WebLike(10, 6, 0.4, 5)
+	validate(t, g)
+	// The hub core (n/8 Y vertices) absorbs every edge of the ~40% "leaf"
+	// X vertices, capping the matching number well below n: the König
+	// cover {core} ∪ {live X} bounds |M| ≤ core + 0.6n + slack. Verify the
+	// structural signature instead of solving: the core must be massively
+	// oversubscribed.
+	s := bipartite.ComputeStats(g)
+	if s.MaxDegY < 10*int64(s.MeanDegY+1) {
+		t.Fatalf("hub core not oversubscribed: max=%d mean=%f", s.MaxDegY, s.MeanDegY)
+	}
+}
+
+func TestRankDeficientBound(t *testing.T) {
+	g := RankDeficient(100, 100, 40, 3, 6)
+	validate(t, g)
+	// All edges must land in the Y core [0, 40): the core is a vertex
+	// cover, so by König the maximum matching is at most 40.
+	for x := int32(0); x < g.NX(); x++ {
+		for _, y := range g.NbrX(x) {
+			if y >= 40 {
+				t.Fatalf("edge (%d,%d) escapes the deficient core", x, y)
+			}
+		}
+	}
+	// Rows 0..39 have their private diagonal, so the maximum is exactly 40.
+	for x := int32(0); x < 40; x++ {
+		if !g.HasEdge(x, x) {
+			t.Fatalf("diagonal (%d,%d) missing", x, x)
+		}
+	}
+	// Clamping of an oversized target.
+	h := RankDeficient(10, 10, 99, 1, 1)
+	validate(t, h)
+}
+
+func TestBanded(t *testing.T) {
+	g := Banded(50, 2, 1.0, 9)
+	validate(t, g)
+	for i := int32(0); i < 50; i++ {
+		if !g.HasEdge(i, i) {
+			t.Fatalf("diagonal missing at %d", i)
+		}
+		for _, y := range g.NbrX(i) {
+			if y < i-2 || y > i+2 {
+				t.Fatalf("edge (%d,%d) outside band", i, y)
+			}
+		}
+	}
+}
+
+func TestStripDiagonal(t *testing.T) {
+	g := Grid(6, 6)
+	s := StripDiagonal(g)
+	validate(t, s)
+	if s.NumEdges() != g.NumEdges()-int64(g.NX()) {
+		t.Fatalf("stripped %d edges, want %d", g.NumEdges()-s.NumEdges(), g.NX())
+	}
+	for v := int32(0); v < s.NX(); v++ {
+		if s.HasEdge(v, v) {
+			t.Fatalf("diagonal (%d,%d) survived", v, v)
+		}
+	}
+	// Off-diagonal edges preserved.
+	for x := int32(0); x < g.NX(); x++ {
+		for _, y := range g.NbrX(x) {
+			if x != y && !s.HasEdge(x, y) {
+				t.Fatalf("edge (%d,%d) lost", x, y)
+			}
+		}
+	}
+}
+
+func TestChain(t *testing.T) {
+	g := Chain(10)
+	validate(t, g)
+	if g.NumEdges() != 19 {
+		t.Fatalf("edges = %d, want 19", g.NumEdges())
+	}
+	if g.DegX(0) != 1 || g.DegX(5) != 2 {
+		t.Fatalf("degrees: %d, %d", g.DegX(0), g.DegX(5))
+	}
+	if Chain(0).NumEdges() != 0 {
+		t.Fatal("empty chain has edges")
+	}
+}

@@ -1,0 +1,134 @@
+// Package hk implements the Hopcroft–Karp algorithm: phases of a global BFS
+// that layers the graph by shortest alternating distance, followed by DFS
+// extraction of a maximal set of vertex-disjoint shortest augmenting paths.
+// O(√n) phases in theory; in practice it needs more phases than MS-BFS
+// because it only augments along shortest paths (§II-D / Fig. 1b).
+package hk
+
+import (
+	"time"
+
+	"graftmatch/internal/bipartite"
+	"graftmatch/internal/matching"
+)
+
+const none = matching.None
+
+const inf int32 = 1<<31 - 1
+
+// Run computes a maximum cardinality matching with Hopcroft–Karp, updating
+// m in place.
+func Run(g *bipartite.Graph, m *matching.Matching) *matching.Stats {
+	stats := &matching.Stats{Algorithm: "HK", Threads: 1}
+	stats.InitialCardinality = m.Cardinality()
+	start := time.Now()
+
+	nx := int(g.NX())
+	distX := make([]int32, nx)
+	frontier := make([]int32, 0, nx)
+	next := make([]int32, 0, nx)
+	iter := make([]int64, nx) // per-phase DFS adjacency cursors
+
+	for {
+		// BFS from all unmatched X vertices, layering X by alternating
+		// distance; stop at the first layer containing a free Y endpoint.
+		for i := range distX {
+			distX[i] = inf
+		}
+		frontier = frontier[:0]
+		for x := int32(0); x < int32(nx); x++ {
+			if m.MateX[x] == none {
+				distX[x] = 0
+				frontier = append(frontier, x)
+			}
+		}
+		foundFree := false
+		for len(frontier) > 0 && !foundFree {
+			next = next[:0]
+			for _, x := range frontier {
+				nbr := g.NbrX(x)
+				stats.EdgesTraversed += int64(len(nbr))
+				for _, y := range nbr {
+					mate := m.MateY[y]
+					if mate == none {
+						foundFree = true
+						continue
+					}
+					if distX[mate] == inf {
+						distX[mate] = distX[x] + 1
+						next = append(next, mate)
+					}
+				}
+			}
+			frontier, next = next, frontier
+		}
+		stats.Phases++
+		if !foundFree {
+			break
+		}
+
+		// DFS phase: extract a maximal set of vertex-disjoint shortest
+		// augmenting paths through the level structure.
+		for i := range iter {
+			iter[i] = 0
+		}
+		augmentedInPhase := false
+		for x0 := int32(0); x0 < int32(nx); x0++ {
+			if m.MateX[x0] != none {
+				continue
+			}
+			if length := tryAugment(g, m, x0, distX, iter, stats); length > 0 {
+				stats.AugPaths++
+				stats.AugPathLen += int64(length)
+				augmentedInPhase = true
+			}
+		}
+		if !augmentedInPhase {
+			break
+		}
+	}
+
+	stats.Runtime = time.Since(start)
+	stats.FinalCardinality = m.Cardinality()
+	return stats
+}
+
+// tryAugment runs the level-restricted DFS from x0 and flips the path if a
+// free Y vertex is reached, returning the path length in edges (0 if none).
+// Y vertices are "consumed" implicitly: once matched to a path their level
+// predecessor check fails, and iter never rescans an adjacency position.
+func tryAugment(g *bipartite.Graph, m *matching.Matching, x0 int32, distX []int32, iter []int64, stats *matching.Stats) int {
+	type frame struct {
+		x int32
+		y int32
+	}
+	stack := []frame{{x: x0, y: none}}
+	for len(stack) > 0 {
+		d := len(stack) - 1
+		x := stack[d].x
+		base := g.XPtr()[x]
+		deg := g.XPtr()[x+1] - base
+		if iter[x] >= deg {
+			distX[x] = inf // dead end: exclude x from this phase
+			stack = stack[:d]
+			continue
+		}
+		y := g.XNbr()[base+iter[x]]
+		iter[x]++
+		stats.EdgesTraversed++
+		mate := m.MateY[y]
+		if mate == none {
+			// Free Y: flip the path recorded on the stack.
+			stack[d].y = y
+			for _, f := range stack {
+				m.Match(f.x, f.y)
+			}
+			return 2*len(stack) - 1
+		}
+		if distX[mate] == distX[x]+1 {
+			stack[d].y = y
+			stack = append(stack, frame{x: mate, y: none})
+		}
+	}
+	return 0
+}

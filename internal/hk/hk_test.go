@@ -1,0 +1,122 @@
+package hk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"graftmatch/internal/bipartite"
+	"graftmatch/internal/gen"
+	"graftmatch/internal/matching"
+	"graftmatch/internal/matchinit"
+)
+
+func TestBasicInstances(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *bipartite.Graph
+		want int64
+	}{
+		{"empty", bipartite.MustFromEdges(0, 0, nil), 0},
+		{"no-edges", bipartite.MustFromEdges(3, 3, nil), 0},
+		{"perfect", bipartite.MustFromEdges(3, 3, []bipartite.Edge{
+			{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}}), 3},
+		{"crown", bipartite.MustFromEdges(3, 3, []bipartite.Edge{
+			{X: 0, Y: 1}, {X: 0, Y: 2}, {X: 1, Y: 0}, {X: 1, Y: 2}, {X: 2, Y: 0}, {X: 2, Y: 1}}), 3},
+		{"star", bipartite.MustFromEdges(1, 5, []bipartite.Edge{
+			{X: 0, Y: 0}, {X: 0, Y: 1}, {X: 0, Y: 2}, {X: 0, Y: 3}, {X: 0, Y: 4}}), 1},
+	}
+	for _, c := range cases {
+		m := matching.New(c.g.NX(), c.g.NY())
+		Run(c.g, m)
+		if m.Cardinality() != c.want {
+			t.Fatalf("%s: %d, want %d", c.name, m.Cardinality(), c.want)
+		}
+		if err := matching.VerifyMaximum(c.g, m); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestMaximumOnRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ER(100, 90, 400, seed)
+		m := matchinit.KarpSipser(g, seed)
+		Run(g, m)
+		return matching.VerifyMaximum(g, m) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPhaseBound checks the Hopcroft–Karp O(√n) phase guarantee (with a
+// constant-factor allowance for the counting convention).
+func TestPhaseBound(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := gen.ER(1000, 1000, 5000, seed)
+		m := matching.New(g.NX(), g.NY())
+		stats := Run(g, m)
+		bound := int64(4*math.Sqrt(float64(g.NumVertices()))) + 4
+		if stats.Phases > bound {
+			t.Fatalf("seed %d: %d phases exceeds O(√n) bound %d", seed, stats.Phases, bound)
+		}
+	}
+}
+
+// TestShortestPathsFirst: from an empty matching on a graph whose shortest
+// augmenting paths are single edges, the first phase must find only
+// length-1 paths.
+func TestShortestPathsFirst(t *testing.T) {
+	g := bipartite.MustFromEdges(3, 3, []bipartite.Edge{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 1}, {X: 2, Y: 2}})
+	m := matching.New(3, 3)
+	stats := Run(g, m)
+	if m.Cardinality() != 3 {
+		t.Fatalf("cardinality %d", m.Cardinality())
+	}
+	// All augmenting paths must have been single edges: a perfect
+	// matching on the diagonal exists, so Σ lengths = #paths.
+	if stats.AugPathLen != stats.AugPaths {
+		t.Fatalf("HK found non-shortest paths from scratch: len=%d paths=%d", stats.AugPathLen, stats.AugPaths)
+	}
+}
+
+func TestWithInitialMatching(t *testing.T) {
+	g := gen.Grid(12, 12)
+	m := matchinit.Greedy(g)
+	init := m.Cardinality()
+	stats := Run(g, m)
+	if stats.InitialCardinality != init {
+		t.Fatalf("initial %d, want %d", stats.InitialCardinality, init)
+	}
+	if m.Cardinality() < init {
+		t.Fatal("matching shrank")
+	}
+	if err := matching.VerifyMaximum(g, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectangularHK(t *testing.T) {
+	g := gen.ER(500, 60, 1500, 9)
+	m := matching.New(g.NX(), g.NY())
+	Run(g, m)
+	if err := matching.VerifyMaximum(g, m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cardinality() > 60 {
+		t.Fatalf("cardinality %d exceeds |Y|", m.Cardinality())
+	}
+}
+
+func TestIdempotentHK(t *testing.T) {
+	g := gen.ER(200, 200, 800, 10)
+	m := matching.New(g.NX(), g.NY())
+	Run(g, m)
+	before := m.Cardinality()
+	s := Run(g, m)
+	if s.AugPaths != 0 || m.Cardinality() != before {
+		t.Fatalf("rerun did work: %+v", s)
+	}
+}

@@ -1,0 +1,152 @@
+// Package matching defines the common vocabulary of every matching algorithm
+// in this repository: the Matching type (mate arrays), validity and
+// maximality verification (König certificate), and the instrumentation
+// counters the paper's evaluation reports (edges traversed, phases,
+// augmenting-path lengths, per-step time breakdown).
+package matching
+
+import (
+	"fmt"
+
+	"graftmatch/internal/bipartite"
+)
+
+// None marks an unmatched vertex in mate arrays.
+const None = bipartite.None
+
+// Matching is a matching of a bipartite graph as a pair of mate arrays:
+// MateX[x] is the Y vertex matched to x (or None), and symmetrically MateY.
+type Matching struct {
+	MateX []int32
+	MateY []int32
+}
+
+// New returns an empty matching for a graph with the given part sizes.
+func New(nx, ny int32) *Matching {
+	m := &Matching{
+		MateX: make([]int32, nx),
+		MateY: make([]int32, ny),
+	}
+	for i := range m.MateX {
+		m.MateX[i] = None
+	}
+	for i := range m.MateY {
+		m.MateY[i] = None
+	}
+	return m
+}
+
+// Clone returns a deep copy.
+func (m *Matching) Clone() *Matching {
+	c := &Matching{
+		MateX: make([]int32, len(m.MateX)),
+		MateY: make([]int32, len(m.MateY)),
+	}
+	copy(c.MateX, m.MateX)
+	copy(c.MateY, m.MateY)
+	return c
+}
+
+// Cardinality returns |M|, the number of matched edges.
+func (m *Matching) Cardinality() int64 {
+	var c int64
+	for _, y := range m.MateX {
+		if y != None {
+			c++
+		}
+	}
+	return c
+}
+
+// MatchingNumberFraction returns |M| relative to the total vertex count
+// |X|+|Y| doubled-coverage style used in the paper's Table II ("matching
+// number as a fraction of the number of vertices in V"): 2|M| / (|X|+|Y|),
+// i.e. the fraction of vertices that are matched.
+func (m *Matching) MatchingNumberFraction() float64 {
+	n := len(m.MateX) + len(m.MateY)
+	if n == 0 {
+		return 0
+	}
+	return float64(2*m.Cardinality()) / float64(n)
+}
+
+// Match records the matched edge (x, y), overwriting any previous mates of
+// x and y (callers maintain consistency; use Augment for path flips).
+func (m *Matching) Match(x, y int32) {
+	m.MateX[x] = y
+	m.MateY[y] = x
+}
+
+// IsMatchedX reports whether X vertex x is matched.
+func (m *Matching) IsMatchedX(x int32) bool { return m.MateX[x] != None }
+
+// IsMatchedY reports whether Y vertex y is matched.
+func (m *Matching) IsMatchedY(y int32) bool { return m.MateY[y] != None }
+
+// UnmatchedX appends all unmatched X vertices to dst and returns it.
+func (m *Matching) UnmatchedX(dst []int32) []int32 {
+	for x := range m.MateX {
+		if m.MateX[x] == None {
+			dst = append(dst, int32(x))
+		}
+	}
+	return dst
+}
+
+// Verify checks that m is a valid matching of g: mate arrays are mutually
+// consistent, in range, and every matched pair is an edge of g.
+func (m *Matching) Verify(g *bipartite.Graph) error {
+	if int32(len(m.MateX)) != g.NX() || int32(len(m.MateY)) != g.NY() {
+		return fmt.Errorf("matching: size mismatch: mates (%d,%d), graph (%d,%d)",
+			len(m.MateX), len(m.MateY), g.NX(), g.NY())
+	}
+	for x := int32(0); x < g.NX(); x++ {
+		y := m.MateX[x]
+		if y == None {
+			continue
+		}
+		if y < 0 || y >= g.NY() {
+			return fmt.Errorf("matching: mateX[%d]=%d out of range", x, y)
+		}
+		if m.MateY[y] != x {
+			return fmt.Errorf("matching: asymmetric mates: mateX[%d]=%d but mateY[%d]=%d", x, y, y, m.MateY[y])
+		}
+		if !g.HasEdge(x, y) {
+			return fmt.Errorf("matching: matched pair (%d,%d) is not an edge", x, y)
+		}
+	}
+	for y := int32(0); y < g.NY(); y++ {
+		x := m.MateY[y]
+		if x == None {
+			continue
+		}
+		if x < 0 || x >= g.NX() {
+			return fmt.Errorf("matching: mateY[%d]=%d out of range", y, x)
+		}
+		if m.MateX[x] != y {
+			return fmt.Errorf("matching: asymmetric mates: mateY[%d]=%d but mateX[%d]=%d", y, x, x, m.MateX[x])
+		}
+	}
+	return nil
+}
+
+// Augment flips the matched status of every edge along the alternating path
+// path = (x0, y1, x1, y2, ..., yk), which must start at an unmatched X
+// vertex and end at an unmatched Y vertex with odd length. It increases the
+// cardinality by exactly one.
+func (m *Matching) Augment(path []int32) error {
+	if len(path) < 2 || len(path)%2 != 0 {
+		return fmt.Errorf("matching: augmenting path must alternate x,y,... with even vertex count, got %d", len(path))
+	}
+	x0, yk := path[0], path[len(path)-1]
+	if m.MateX[x0] != None {
+		return fmt.Errorf("matching: path start x=%d already matched", x0)
+	}
+	if m.MateY[yk] != None {
+		return fmt.Errorf("matching: path end y=%d already matched", yk)
+	}
+	for i := 0; i+1 < len(path); i += 2 {
+		m.Match(path[i], path[i+1])
+	}
+	return nil
+}

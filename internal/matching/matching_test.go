@@ -1,0 +1,339 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graftmatch/internal/bipartite"
+)
+
+func pathGraph() *bipartite.Graph {
+	// x0-y0-x1-y1-x2-y2 path.
+	return bipartite.MustFromEdges(3, 3, []bipartite.Edge{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 1}, {X: 2, Y: 2},
+	})
+}
+
+func TestNewEmpty(t *testing.T) {
+	m := New(3, 4)
+	if m.Cardinality() != 0 {
+		t.Fatalf("cardinality = %d", m.Cardinality())
+	}
+	for _, v := range m.MateX {
+		if v != None {
+			t.Fatal("MateX not initialized to None")
+		}
+	}
+	for _, v := range m.MateY {
+		if v != None {
+			t.Fatal("MateY not initialized to None")
+		}
+	}
+}
+
+func TestMatchAndCardinality(t *testing.T) {
+	m := New(3, 3)
+	m.Match(0, 1)
+	m.Match(2, 0)
+	if m.Cardinality() != 2 {
+		t.Fatalf("cardinality = %d", m.Cardinality())
+	}
+	if !m.IsMatchedX(0) || !m.IsMatchedY(1) || m.IsMatchedX(1) || m.IsMatchedY(2) {
+		t.Fatal("IsMatched wrong")
+	}
+	um := m.UnmatchedX(nil)
+	if len(um) != 1 || um[0] != 1 {
+		t.Fatalf("unmatchedX = %v", um)
+	}
+}
+
+func TestMatchingNumberFraction(t *testing.T) {
+	m := New(2, 2)
+	if m.MatchingNumberFraction() != 0 {
+		t.Fatal("empty fraction nonzero")
+	}
+	m.Match(0, 0)
+	m.Match(1, 1)
+	if f := m.MatchingNumberFraction(); f != 1.0 {
+		t.Fatalf("perfect fraction = %f", f)
+	}
+	empty := New(0, 0)
+	if empty.MatchingNumberFraction() != 0 {
+		t.Fatal("zero-vertex fraction nonzero")
+	}
+}
+
+func TestVerifyValid(t *testing.T) {
+	g := pathGraph()
+	m := New(3, 3)
+	m.Match(0, 0)
+	m.Match(1, 1)
+	m.Match(2, 2)
+	if err := m.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyCatchesNonEdge(t *testing.T) {
+	g := pathGraph()
+	m := New(3, 3)
+	m.Match(0, 2) // (0,2) is not an edge
+	if err := m.Verify(g); err == nil {
+		t.Fatal("want error for matched non-edge")
+	}
+}
+
+func TestVerifyCatchesAsymmetry(t *testing.T) {
+	g := pathGraph()
+	m := New(3, 3)
+	m.MateX[0] = 0 // no reverse pointer
+	if err := m.Verify(g); err == nil {
+		t.Fatal("want error for asymmetric mates")
+	}
+	m2 := New(3, 3)
+	m2.MateY[0] = 0
+	if err := m2.Verify(g); err == nil {
+		t.Fatal("want error for asymmetric mateY")
+	}
+}
+
+func TestVerifyCatchesOutOfRange(t *testing.T) {
+	g := pathGraph()
+	m := New(3, 3)
+	m.MateX[0] = 7
+	if err := m.Verify(g); err == nil {
+		t.Fatal("want error for out-of-range mate")
+	}
+	m2 := New(3, 3)
+	m2.MateY[0] = -5
+	m2.MateY[0] = 9
+	if err := m2.Verify(g); err == nil {
+		t.Fatal("want error for out-of-range mateY")
+	}
+	bad := New(2, 2)
+	if err := bad.Verify(g); err == nil {
+		t.Fatal("want error for size mismatch")
+	}
+}
+
+func TestAugment(t *testing.T) {
+	g := pathGraph()
+	m := New(3, 3)
+	m.Match(1, 0)
+	m.Match(2, 1)
+	// Augmenting path x0-y0-x1-y1-x2-y2.
+	if err := m.Augment([]int32{0, 0, 1, 1, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cardinality() != 3 {
+		t.Fatalf("cardinality = %d, want 3", m.Cardinality())
+	}
+	if err := m.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAugmentRejectsBadPaths(t *testing.T) {
+	m := New(3, 3)
+	if err := m.Augment([]int32{0}); err == nil {
+		t.Fatal("want error for odd-length path")
+	}
+	if err := m.Augment(nil); err == nil {
+		t.Fatal("want error for empty path")
+	}
+	m.Match(0, 0)
+	if err := m.Augment([]int32{0, 1}); err == nil {
+		t.Fatal("want error for matched start")
+	}
+	m2 := New(3, 3)
+	m2.Match(1, 1)
+	if err := m2.Augment([]int32{0, 1}); err == nil {
+		t.Fatal("want error for matched end")
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := New(2, 2)
+	m.Match(0, 1)
+	c := m.Clone()
+	c.Match(1, 0)
+	if m.IsMatchedX(1) {
+		t.Fatal("clone aliases original")
+	}
+	if !c.IsMatchedX(0) || !c.IsMatchedX(1) {
+		t.Fatal("clone lost state")
+	}
+}
+
+func TestVerifyMaximumOnPerfect(t *testing.T) {
+	g := pathGraph()
+	m := New(3, 3)
+	m.Match(0, 0)
+	m.Match(1, 1)
+	m.Match(2, 2)
+	if err := VerifyMaximum(g, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyMaximumRejectsNonMaximum(t *testing.T) {
+	g := pathGraph()
+	m := New(3, 3)
+	m.Match(1, 0)
+	m.Match(2, 1)
+	// Cardinality 2, but maximum is 3.
+	if err := VerifyMaximum(g, m); err == nil {
+		t.Fatal("want error for non-maximum matching")
+	}
+}
+
+func TestAlternatingReach(t *testing.T) {
+	g := pathGraph()
+	m := New(3, 3)
+	m.Match(1, 0)
+	m.Match(2, 1)
+	rx, ry, aug := AlternatingReach(g, m)
+	if !aug {
+		t.Fatal("augmenting path exists but not found")
+	}
+	// From unmatched x0: reach y0, its mate x1, then y1, x2, y2.
+	for i, want := range []bool{true, true, true} {
+		if rx[i] != want {
+			t.Fatalf("reachedX[%d] = %v", i, rx[i])
+		}
+	}
+	for i, want := range []bool{true, true, true} {
+		if ry[i] != want {
+			t.Fatalf("reachedY[%d] = %v", i, ry[i])
+		}
+	}
+}
+
+func TestMinVertexCoverCoversAllEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		nx := int32(rng.Intn(20) + 2)
+		ny := int32(rng.Intn(20) + 2)
+		b := bipartite.NewBuilder(nx, ny)
+		for i := 0; i < 100; i++ {
+			_ = b.AddEdge(int32(rng.Intn(int(nx))), int32(rng.Intn(int(ny))))
+		}
+		g := b.Build()
+		m := maximumByAugmentation(g)
+		coverX, coverY := MinVertexCover(g, m)
+		for x := int32(0); x < nx; x++ {
+			for _, y := range g.NbrX(x) {
+				if !coverX[x] && !coverY[y] {
+					t.Fatalf("edge (%d,%d) uncovered", x, y)
+				}
+			}
+		}
+		var size int64
+		for _, c := range coverX {
+			if c {
+				size++
+			}
+		}
+		for _, c := range coverY {
+			if c {
+				size++
+			}
+		}
+		if size != m.Cardinality() {
+			t.Fatalf("cover size %d != matching %d", size, m.Cardinality())
+		}
+	}
+}
+
+// maximumByAugmentation is an independent, dead-simple reference maximum
+// matcher (repeated BFS augmentation) used to validate the certificates.
+func maximumByAugmentation(g *bipartite.Graph) *Matching {
+	m := New(g.NX(), g.NY())
+	for {
+		// BFS from all unmatched X for one augmenting path.
+		parent := make([]int32, g.NY())
+		for i := range parent {
+			parent[i] = None
+		}
+		visited := make([]bool, g.NY())
+		var frontier []int32
+		for x := int32(0); x < g.NX(); x++ {
+			if m.MateX[x] == None {
+				frontier = append(frontier, x)
+			}
+		}
+		var endY int32 = None
+		rootOf := make(map[int32]int32)
+		for _, x := range frontier {
+			rootOf[x] = x
+		}
+	bfs:
+		for len(frontier) > 0 && endY == None {
+			var next []int32
+			for _, x := range frontier {
+				for _, y := range g.NbrX(x) {
+					if visited[y] {
+						continue
+					}
+					visited[y] = true
+					parent[y] = x
+					if m.MateY[y] == None {
+						endY = y
+						break bfs
+					}
+					next = append(next, m.MateY[y])
+				}
+			}
+			frontier = next
+		}
+		if endY == None {
+			return m
+		}
+		y := endY
+		for {
+			x := parent[y]
+			prev := m.MateX[x]
+			m.Match(x, y)
+			if prev == None {
+				break
+			}
+			y = prev
+		}
+	}
+}
+
+// TestCertificateProperty: for random graphs, the reference matcher's
+// result always passes VerifyMaximum, and dropping one matched edge always
+// fails it (when cardinality > 0).
+func TestCertificateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nx := int32(rng.Intn(15) + 1)
+		ny := int32(rng.Intn(15) + 1)
+		b := bipartite.NewBuilder(nx, ny)
+		for i := 0; i < 60; i++ {
+			_ = b.AddEdge(int32(rng.Intn(int(nx))), int32(rng.Intn(int(ny))))
+		}
+		g := b.Build()
+		m := maximumByAugmentation(g)
+		if err := VerifyMaximum(g, m); err != nil {
+			return false
+		}
+		if m.Cardinality() == 0 {
+			return true
+		}
+		// Remove one matched edge: no longer maximum.
+		for x := int32(0); x < nx; x++ {
+			if y := m.MateX[x]; y != None {
+				m.MateX[x] = None
+				m.MateY[y] = None
+				break
+			}
+		}
+		return VerifyMaximum(g, m) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package matching
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Step identifies one component of an algorithm's runtime for the Fig. 6
+// breakdown.
+type Step int
+
+// Steps of the MS-BFS-Graft algorithm (and, where applicable, of the
+// baselines: BFS/DFS time is recorded under StepTopDown for single-direction
+// algorithms).
+const (
+	StepTopDown Step = iota
+	StepBottomUp
+	StepAugment
+	StepGraft
+	StepStatistics
+	numSteps
+)
+
+// String returns the paper's name for the step.
+func (s Step) String() string {
+	switch s {
+	case StepTopDown:
+		return "Top-Down"
+	case StepBottomUp:
+		return "Bottom-Up"
+	case StepAugment:
+		return "Augment"
+	case StepGraft:
+		return "Tree-Grafting"
+	case StepStatistics:
+		return "Statistics"
+	default:
+		return fmt.Sprintf("Step(%d)", int(s))
+	}
+}
+
+// Stats aggregates the quantities the paper's evaluation reports for a
+// single run of a matching algorithm.
+type Stats struct {
+	Algorithm string
+
+	// EdgesTraversed counts every edge examination during searches
+	// (Fig. 1a and the MTEPS search rate of Fig. 4).
+	EdgesTraversed int64
+
+	// Phases is the number of search phases / iterations (Fig. 1b).
+	Phases int64
+
+	// AugPaths is the number of augmenting paths applied, and AugPathLen
+	// their total length in edges; AvgAugPathLen (Fig. 1c) derives from
+	// them.
+	AugPaths   int64
+	AugPathLen int64
+
+	// InitialCardinality is |M| after the initializer (Karp–Sipser),
+	// FinalCardinality after the algorithm.
+	InitialCardinality int64
+	FinalCardinality   int64
+
+	// Grafts counts phases that used tree grafting; Rebuilds counts
+	// phases that destroyed all trees and restarted from unmatched X.
+	Grafts   int64
+	Rebuilds int64
+
+	// TopDownLevels and BottomUpLevels count BFS levels traversed in each
+	// direction (direction-optimization diagnostics).
+	TopDownLevels  int64
+	BottomUpLevels int64
+
+	// FrontierTrace, when enabled, records the frontier size at every
+	// BFS level of every phase (Fig. 8). Indexed [phase][level].
+	FrontierTrace [][]int64
+
+	// StepTime is the wall-clock breakdown (Fig. 6).
+	StepTime [numSteps]time.Duration
+
+	// Runtime is the total wall-clock time of the algorithm (excluding
+	// initialization unless stated).
+	Runtime time.Duration
+
+	Threads int
+}
+
+// AvgAugPathLen returns the mean augmenting path length in edges.
+func (s *Stats) AvgAugPathLen() float64 {
+	if s.AugPaths == 0 {
+		return 0
+	}
+	return float64(s.AugPathLen) / float64(s.AugPaths)
+}
+
+// MTEPS returns the search rate in millions of traversed edges per second
+// (Fig. 4: traversed edges / runtime).
+func (s *Stats) MTEPS() float64 {
+	if s.Runtime <= 0 {
+		return 0
+	}
+	return float64(s.EdgesTraversed) / s.Runtime.Seconds() / 1e6
+}
+
+// AddStep accumulates elapsed time into a step bucket.
+func (s *Stats) AddStep(step Step, d time.Duration) { s.StepTime[step] += d }
+
+// StepShare returns the fraction of accounted step time spent in step.
+func (s *Stats) StepShare(step Step) float64 {
+	var total time.Duration
+	for i := Step(0); i < numSteps; i++ {
+		total += s.StepTime[i]
+	}
+	if total <= 0 {
+		return 0
+	}
+	return float64(s.StepTime[step]) / float64(total)
+}
+
+// String renders a multi-line report.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: |M| %d -> %d, phases=%d, edges=%d, augpaths=%d (avg len %.2f), time=%s",
+		s.Algorithm, s.InitialCardinality, s.FinalCardinality, s.Phases,
+		s.EdgesTraversed, s.AugPaths, s.AvgAugPathLen(), s.Runtime)
+	if s.Grafts+s.Rebuilds > 0 {
+		fmt.Fprintf(&b, ", grafts=%d rebuilds=%d", s.Grafts, s.Rebuilds)
+	}
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package matching
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStepString(t *testing.T) {
+	names := map[Step]string{
+		StepTopDown:    "Top-Down",
+		StepBottomUp:   "Bottom-Up",
+		StepAugment:    "Augment",
+		StepGraft:      "Tree-Grafting",
+		StepStatistics: "Statistics",
+	}
+	for step, want := range names {
+		if got := step.String(); got != want {
+			t.Errorf("Step(%d).String() = %q, want %q", step, got, want)
+		}
+	}
+	if !strings.HasPrefix(Step(99).String(), "Step(") {
+		t.Error("unknown step name")
+	}
+}
+
+func TestAvgAugPathLen(t *testing.T) {
+	s := &Stats{}
+	if s.AvgAugPathLen() != 0 {
+		t.Fatal("zero paths must give zero average")
+	}
+	s.AugPaths = 4
+	s.AugPathLen = 20
+	if s.AvgAugPathLen() != 5 {
+		t.Fatalf("avg = %f", s.AvgAugPathLen())
+	}
+}
+
+func TestMTEPS(t *testing.T) {
+	s := &Stats{EdgesTraversed: 2_000_000, Runtime: time.Second}
+	if got := s.MTEPS(); got != 2.0 {
+		t.Fatalf("MTEPS = %f, want 2", got)
+	}
+	zero := &Stats{EdgesTraversed: 100}
+	if zero.MTEPS() != 0 {
+		t.Fatal("zero runtime must give zero MTEPS")
+	}
+}
+
+func TestStepShare(t *testing.T) {
+	s := &Stats{}
+	if s.StepShare(StepTopDown) != 0 {
+		t.Fatal("empty stats share nonzero")
+	}
+	s.AddStep(StepTopDown, 3*time.Second)
+	s.AddStep(StepAugment, time.Second)
+	if got := s.StepShare(StepTopDown); got != 0.75 {
+		t.Fatalf("share = %f, want 0.75", got)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := &Stats{Algorithm: "X", Grafts: 2, Rebuilds: 1}
+	out := s.String()
+	if !strings.Contains(out, "X:") || !strings.Contains(out, "grafts=2") {
+		t.Fatalf("unexpected String: %q", out)
+	}
+	plain := &Stats{Algorithm: "Y"}
+	if strings.Contains(plain.String(), "grafts") {
+		t.Fatal("graft counters shown for non-grafting run")
+	}
+}

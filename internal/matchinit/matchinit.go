@@ -1,0 +1,176 @@
+// Package matchinit implements maximal-matching initializers. The paper
+// initializes every maximum matching algorithm with Karp–Sipser (§II-B),
+// "one of the best initializer algorithms for cardinality matching"; a
+// simple parallel greedy initializer is provided for comparison and for the
+// initializer ablation tests.
+package matchinit
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"graftmatch/internal/bipartite"
+	"graftmatch/internal/matching"
+	"graftmatch/internal/par"
+)
+
+// KarpSipser computes a maximal matching with the Karp–Sipser heuristic:
+// while any vertex has exactly one available neighbor, match that pair
+// (degree-1 rule, provably safe); otherwise match an arbitrary available
+// edge chosen from a seeded random vertex order. Runs in O(m).
+func KarpSipser(g *bipartite.Graph, seed int64) *matching.Matching {
+	m := matching.New(g.NX(), g.NY())
+	nx, ny := g.NX(), g.NY()
+
+	// Dynamic degrees over still-unmatched endpoints.
+	degX := make([]int32, nx)
+	degY := make([]int32, ny)
+	for x := int32(0); x < nx; x++ {
+		degX[x] = int32(g.DegX(x))
+	}
+	for y := int32(0); y < ny; y++ {
+		degY[y] = int32(g.DegY(y))
+	}
+
+	// Stacks of degree-1 vertices. Entries may be stale (vertex matched or
+	// degree changed since push); validity is rechecked at pop.
+	oneX := make([]int32, 0, 1024)
+	oneY := make([]int32, 0, 1024)
+	for x := int32(0); x < nx; x++ {
+		if degX[x] == 1 {
+			oneX = append(oneX, x)
+		}
+	}
+	for y := int32(0); y < ny; y++ {
+		if degY[y] == 1 {
+			oneY = append(oneY, y)
+		}
+	}
+
+	// matchPair matches (x, y) and updates dynamic degrees of their
+	// still-unmatched neighbors, pushing new degree-1 vertices.
+	matchPair := func(x, y int32) {
+		m.Match(x, y)
+		for _, yy := range g.NbrX(x) {
+			if m.MateY[yy] == matching.None {
+				degY[yy]--
+				if degY[yy] == 1 {
+					oneY = append(oneY, yy)
+				}
+			}
+		}
+		for _, xx := range g.NbrY(y) {
+			if m.MateX[xx] == matching.None {
+				degX[xx]--
+				if degX[xx] == 1 {
+					oneX = append(oneX, xx)
+				}
+			}
+		}
+	}
+
+	drainDegreeOne := func() {
+		for len(oneX) > 0 || len(oneY) > 0 {
+			if len(oneX) > 0 {
+				x := oneX[len(oneX)-1]
+				oneX = oneX[:len(oneX)-1]
+				if m.MateX[x] != matching.None || degX[x] != 1 {
+					continue
+				}
+				if y := firstFreeY(g, m, x); y != matching.None {
+					matchPair(x, y)
+				}
+				continue
+			}
+			y := oneY[len(oneY)-1]
+			oneY = oneY[:len(oneY)-1]
+			if m.MateY[y] != matching.None || degY[y] != 1 {
+				continue
+			}
+			if x := firstFreeX(g, m, y); x != matching.None {
+				matchPair(x, y)
+			}
+		}
+	}
+
+	drainDegreeOne()
+
+	// Random-order phase 2: match arbitrary available edges, returning to
+	// the degree-1 rule after every match.
+	order := rand.New(rand.NewSource(seed)).Perm(int(nx))
+	for _, xi := range order {
+		x := int32(xi)
+		if m.MateX[x] != matching.None {
+			continue
+		}
+		if y := firstFreeY(g, m, x); y != matching.None {
+			matchPair(x, y)
+			drainDegreeOne()
+		}
+	}
+	return m
+}
+
+func firstFreeY(g *bipartite.Graph, m *matching.Matching, x int32) int32 {
+	for _, y := range g.NbrX(x) {
+		if m.MateY[y] == matching.None {
+			return y
+		}
+	}
+	return matching.None
+}
+
+func firstFreeX(g *bipartite.Graph, m *matching.Matching, y int32) int32 {
+	for _, x := range g.NbrY(y) {
+		if m.MateX[x] == matching.None {
+			return x
+		}
+	}
+	return matching.None
+}
+
+// Greedy computes a maximal matching by a single serial pass over X,
+// matching each vertex to its first free neighbor.
+func Greedy(g *bipartite.Graph) *matching.Matching {
+	m := matching.New(g.NX(), g.NY())
+	for x := int32(0); x < g.NX(); x++ {
+		if y := firstFreeY(g, m, x); y != matching.None {
+			m.Match(x, y)
+		}
+	}
+	return m
+}
+
+// ParallelGreedy computes a maximal matching with p workers: X vertices are
+// scanned in parallel and claim a free neighbor with a CAS on mateY. The
+// result is a valid maximal matching (claims are linearizable), though not
+// deterministic across thread counts.
+func ParallelGreedy(g *bipartite.Graph, p int) *matching.Matching {
+	m := matching.New(g.NX(), g.NY())
+	mateY := m.MateY
+	par.ForDynamic(p, int(g.NX()), 512, func(_, lo, hi int) {
+		for xi := lo; xi < hi; xi++ {
+			x := int32(xi)
+			for _, y := range g.NbrX(x) {
+				if atomic.LoadInt32(&mateY[y]) != matching.None {
+					continue
+				}
+				if atomic.CompareAndSwapInt32(&mateY[y], matching.None, x) {
+					m.MateX[x] = y
+					break
+				}
+			}
+		}
+	})
+	// Second pass: vertices that lost every race retry once over the final
+	// state to guarantee maximality.
+	for x := int32(0); x < g.NX(); x++ {
+		if m.MateX[x] != matching.None {
+			continue
+		}
+		if y := firstFreeY(g, m, x); y != matching.None {
+			m.Match(x, y)
+		}
+	}
+	return m
+}

@@ -1,0 +1,147 @@
+package mmio
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"graftmatch/internal/bipartite"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list with 0-based vertex
+// ids ("x y" per line, '#' or '%' comments allowed). Part sizes are
+// inferred as max id + 1 unless a header line "# nx ny" appears first.
+func ReadEdgeList(r io.Reader) (*bipartite.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var edges []bipartite.Edge
+	var nx, ny int32
+	declared := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			// Optional size header: "# nx ny".
+			f := strings.Fields(strings.TrimLeft(line, "#% "))
+			if !declared && len(f) == 2 {
+				a, errA := strconv.ParseInt(f[0], 10, 32)
+				b, errB := strconv.ParseInt(f[1], 10, 32)
+				if errA == nil && errB == nil && a >= 0 && b >= 0 {
+					nx, ny = int32(a), int32(b)
+					declared = true
+				}
+			}
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("mmio: malformed edge line %q", line)
+		}
+		x, err := strconv.ParseInt(f[0], 10, 32)
+		if err != nil || x < 0 {
+			return nil, fmt.Errorf("mmio: bad X id %q", f[0])
+		}
+		y, err := strconv.ParseInt(f[1], 10, 32)
+		if err != nil || y < 0 {
+			return nil, fmt.Errorf("mmio: bad Y id %q", f[1])
+		}
+		edges = append(edges, bipartite.Edge{X: int32(x), Y: int32(y)})
+		if !declared {
+			if int32(x) >= nx {
+				nx = int32(x) + 1
+			}
+			if int32(y) >= ny {
+				ny = int32(y) + 1
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mmio: %w", err)
+	}
+	return bipartite.FromEdges(nx, ny, edges)
+}
+
+// WriteEdgeList emits g as a 0-based edge list with a "# nx ny" header.
+func WriteEdgeList(w io.Writer, g *bipartite.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %d %d\n", g.NX(), g.NY()); err != nil {
+		return err
+	}
+	for x := int32(0); x < g.NX(); x++ {
+		for _, y := range g.NbrX(x) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", x, y); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAuto reads a graph from path, dispatching on extension:
+// ".mtx" Matrix Market, ".el"/".txt" edge list, with a trailing ".gz"
+// transparently decompressed.
+func ReadAuto(path string) (*bipartite.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	name := path
+	if strings.HasSuffix(name, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("mmio: %s: %w", path, err)
+		}
+		defer zr.Close()
+		r = zr
+		name = strings.TrimSuffix(name, ".gz")
+	}
+	switch {
+	case strings.HasSuffix(name, ".mtx"):
+		return Read(r)
+	case strings.HasSuffix(name, ".el"), strings.HasSuffix(name, ".txt"):
+		return ReadEdgeList(r)
+	default:
+		return nil, fmt.Errorf("mmio: unknown extension on %q (want .mtx, .el, .txt, optionally .gz)", path)
+	}
+}
+
+// WriteAuto writes g to path, dispatching on extension like ReadAuto.
+func WriteAuto(path string, g *bipartite.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = f
+	var zw *gzip.Writer
+	name := path
+	if strings.HasSuffix(name, ".gz") {
+		zw = gzip.NewWriter(f)
+		w = zw
+		name = strings.TrimSuffix(name, ".gz")
+	}
+	switch {
+	case strings.HasSuffix(name, ".mtx"):
+		err = Write(w, g)
+	case strings.HasSuffix(name, ".el"), strings.HasSuffix(name, ".txt"):
+		err = WriteEdgeList(w, g)
+	default:
+		err = fmt.Errorf("mmio: unknown extension on %q", path)
+	}
+	if zw != nil {
+		if cerr := zw.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

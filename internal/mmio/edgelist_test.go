@@ -1,0 +1,118 @@
+package mmio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graftmatch/internal/bipartite"
+	"graftmatch/internal/gen"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := gen.ER(30, 40, 120, 3)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NX() != g.NX() || g2.NY() != g.NY() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %v vs %v", g, g2)
+	}
+	if err := bipartite.Validate(g2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeListInferredSizes(t *testing.T) {
+	in := "0 0\n2 1\n# a comment\n\n1 3\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NX() != 3 || g.NY() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("inferred %v", g)
+	}
+}
+
+func TestEdgeListHeaderSizes(t *testing.T) {
+	in := "# 10 20\n0 0\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NX() != 10 || g.NY() != 20 {
+		t.Fatalf("declared sizes ignored: %v", g)
+	}
+}
+
+func TestEdgeListErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"short line": "0\n",
+		"bad x":      "a 0\n",
+		"bad y":      "0 b\n",
+		"negative":   "-1 0\n",
+		"over size":  "# 1 1\n5 5\n",
+	} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestAutoRoundTrips(t *testing.T) {
+	g := gen.Grid(6, 6)
+	dir := t.TempDir()
+	for _, name := range []string{"a.mtx", "b.el", "c.txt", "d.mtx.gz", "e.el.gz"} {
+		path := filepath.Join(dir, name)
+		if err := WriteAuto(path, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g2, err := ReadAuto(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g2.NumEdges() != g.NumEdges() || g2.NX() != g.NX() {
+			t.Fatalf("%s: round trip mismatch", name)
+		}
+	}
+}
+
+func TestAutoErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadAuto(filepath.Join(dir, "missing.mtx")); err == nil {
+		t.Error("want error for missing file")
+	}
+	bad := filepath.Join(dir, "x.unknown")
+	if err := WriteAuto(bad, gen.Grid(2, 2)); err == nil {
+		t.Error("want error for unknown write extension")
+	}
+	// Unknown extension on read.
+	plain := filepath.Join(dir, "y.dat")
+	if err := WriteAuto(plain+".mtx", gen.Grid(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAuto(plain); err == nil {
+		t.Error("want error for unknown read extension")
+	}
+	// Corrupt gzip.
+	corrupt := filepath.Join(dir, "z.mtx.gz")
+	if err := WriteAuto(filepath.Join(dir, "tmp.mtx"), gen.Grid(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeRaw(corrupt, []byte("not gzip")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAuto(corrupt); err == nil {
+		t.Error("want error for corrupt gzip")
+	}
+}
+
+func writeRaw(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}

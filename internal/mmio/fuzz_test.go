@@ -1,0 +1,63 @@
+package mmio
+
+import (
+	"strings"
+	"testing"
+
+	"graftmatch/internal/bipartite"
+)
+
+// FuzzRead ensures the Matrix Market parser never panics and that any
+// successfully parsed graph passes full structural validation. Run with
+// `go test -fuzz=FuzzRead ./internal/mmio` for continuous fuzzing; the seed
+// corpus below runs as a normal test.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 3.5\n2 2 1\n",
+		"%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 3\n",
+		"%%MatrixMarket matrix coordinate pattern general\n0 0 0\n",
+		"%%MatrixMarket matrix coordinate pattern general\n1 1 1\n",
+		"",
+		"garbage",
+		"%%MatrixMarket matrix coordinate pattern general\n-1 2 1\n1 1\n",
+		"%%MatrixMarket matrix coordinate pattern general\n999999999999 2 1\n1 1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := bipartite.Validate(g); err != nil {
+			t.Fatalf("parsed graph fails validation: %v", err)
+		}
+	})
+}
+
+// FuzzReadEdgeList is the edge-list analog of FuzzRead.
+func FuzzReadEdgeList(f *testing.F) {
+	seeds := []string{
+		"0 0\n1 1\n",
+		"# 4 4\n0 3\n3 0\n",
+		"# comment\n%also\n\n2 2\n",
+		"x y\n",
+		"0\n",
+		"-1 -1\n",
+		"99999999999999999999 0\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := bipartite.Validate(g); err != nil {
+			t.Fatalf("parsed graph fails validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,169 @@
+// Package mmio reads and writes Matrix Market coordinate files and converts
+// them to bipartite graphs following the paper's construction (§IV-B): an
+// n1×n2 matrix A becomes G(X ∪ Y, E) with a vertex in X per row, a vertex in
+// Y per column, and edges in both directions per nonzero, so |E| = 2·nnz(A).
+package mmio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"graftmatch/internal/bipartite"
+)
+
+// Read parses a Matrix Market coordinate file (pattern, real, integer, or
+// complex; general, symmetric, skew-symmetric, or hermitian) and returns
+// the bipartite graph of its nonzero structure. Values are ignored: only
+// the sparsity pattern matters for cardinality matching.
+func Read(r io.Reader) (*bipartite.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mmio: empty input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" {
+		return nil, fmt.Errorf("mmio: missing %%%%MatrixMarket header")
+	}
+	if header[1] != "matrix" {
+		return nil, fmt.Errorf("mmio: unsupported object %q", header[1])
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("mmio: unsupported format %q (only coordinate)", header[2])
+	}
+	field, sym := header[3], header[4]
+	switch field {
+	case "pattern", "real", "integer", "complex":
+	default:
+		return nil, fmt.Errorf("mmio: unsupported field %q", field)
+	}
+	symmetric := false
+	switch sym {
+	case "general":
+	case "symmetric", "skew-symmetric", "hermitian":
+		symmetric = true
+	default:
+		return nil, fmt.Errorf("mmio: unsupported symmetry %q", sym)
+	}
+
+	// Skip comments, find size line.
+	var sizeLine string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		sizeLine = line
+		break
+	}
+	if sizeLine == "" {
+		return nil, fmt.Errorf("mmio: missing size line")
+	}
+	dims := strings.Fields(sizeLine)
+	if len(dims) != 3 {
+		return nil, fmt.Errorf("mmio: malformed size line %q", sizeLine)
+	}
+	n1, err := strconv.ParseInt(dims[0], 10, 32)
+	if err != nil || n1 < 0 {
+		return nil, fmt.Errorf("mmio: bad row count %q", dims[0])
+	}
+	n2, err := strconv.ParseInt(dims[1], 10, 32)
+	if err != nil || n2 < 0 {
+		return nil, fmt.Errorf("mmio: bad column count %q", dims[1])
+	}
+	nnz, err := strconv.ParseInt(dims[2], 10, 64)
+	if err != nil || nnz < 0 {
+		return nil, fmt.Errorf("mmio: bad nnz %q", dims[2])
+	}
+	if symmetric && n1 != n2 {
+		return nil, fmt.Errorf("mmio: symmetric matrix must be square, got %dx%d", n1, n2)
+	}
+
+	b := bipartite.NewBuilder(int32(n1), int32(n2))
+	b.Reserve(int(nnz))
+	var read int64
+	for read < nnz && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("mmio: malformed entry line %q", line)
+		}
+		i, err := strconv.ParseInt(f[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("mmio: bad row index %q", f[0])
+		}
+		j, err := strconv.ParseInt(f[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("mmio: bad column index %q", f[1])
+		}
+		if i < 1 || i > n1 || j < 1 || j > n2 {
+			return nil, fmt.Errorf("mmio: entry (%d,%d) out of %dx%d", i, j, n1, n2)
+		}
+		if err := b.AddEdge(int32(i-1), int32(j-1)); err != nil {
+			return nil, err
+		}
+		if symmetric && i != j {
+			if err := b.AddEdge(int32(j-1), int32(i-1)); err != nil {
+				return nil, err
+			}
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mmio: %w", err)
+	}
+	if read < nnz {
+		return nil, fmt.Errorf("mmio: expected %d entries, got %d", nnz, read)
+	}
+	return b.Build(), nil
+}
+
+// ReadFile reads a Matrix Market file from disk.
+func ReadFile(path string) (*bipartite.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Write emits g as a general pattern coordinate Matrix Market file.
+func Write(w io.Writer, g *bipartite.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate pattern general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", g.NX(), g.NY(), g.NumEdges()); err != nil {
+		return err
+	}
+	for x := int32(0); x < g.NX(); x++ {
+		for _, y := range g.NbrX(x) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", x+1, y+1); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes g to path in Matrix Market format.
+func WriteFile(path string, g *bipartite.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,148 @@
+package mmio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graftmatch/internal/bipartite"
+	"graftmatch/internal/gen"
+)
+
+func TestReadPatternGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+% a comment
+3 4 3
+1 1
+2 3
+3 4
+`
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NX() != 3 || g.NY() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("graph = %v", g)
+	}
+	if !g.HasEdge(0, 0) || !g.HasEdge(1, 2) || !g.HasEdge(2, 3) {
+		t.Fatal("edges missing")
+	}
+}
+
+func TestReadRealValuesIgnored(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+2 2 2
+1 1 3.5
+2 2 -1.0e3
+`
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestReadSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+3 3 2
+2 1
+3 3
+`
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (2,1) mirrors to (1,2); (3,3) is diagonal, no mirror.
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", g.NumEdges())
+	}
+	if !g.HasEdge(1, 0) || !g.HasEdge(0, 1) || !g.HasEdge(2, 2) {
+		t.Fatal("symmetric mirroring wrong")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"no header":        "3 3 1\n1 1\n",
+		"bad object":       "%%MatrixMarket vector coordinate pattern general\n1 1 0\n",
+		"bad format":       "%%MatrixMarket matrix array pattern general\n1 1 0\n",
+		"bad field":        "%%MatrixMarket matrix coordinate weird general\n1 1 0\n",
+		"bad symmetry":     "%%MatrixMarket matrix coordinate pattern diagonal\n1 1 0\n",
+		"nonsquare sym":    "%%MatrixMarket matrix coordinate pattern symmetric\n2 3 0\n",
+		"short size":       "%%MatrixMarket matrix coordinate pattern general\n2 3\n",
+		"bad rows":         "%%MatrixMarket matrix coordinate pattern general\nx 3 0\n",
+		"bad cols":         "%%MatrixMarket matrix coordinate pattern general\n3 x 0\n",
+		"bad nnz":          "%%MatrixMarket matrix coordinate pattern general\n3 3 x\n",
+		"truncated":        "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 1\n",
+		"entry short":      "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n1\n",
+		"entry bad row":    "%%MatrixMarket matrix coordinate pattern general\n3 3 1\nx 1\n",
+		"entry bad col":    "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n1 x\n",
+		"row out of range": "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n4 1\n",
+		"col zero":         "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n1 0\n",
+		"missing size":     "%%MatrixMarket matrix coordinate pattern general\n% only comments\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := gen.ER(40, 30, 150, 5)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NX() != g.NX() || g2.NY() != g.NY() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %v vs %v", g, g2)
+	}
+	e1, e2 := g.Edges(nil), g2.Edges(nil)
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	if err := bipartite.Validate(g2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.mtx")
+	g := gen.Grid(5, 5)
+	if err := WriteFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.mtx")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+	if err := WriteFile(filepath.Join(dir, "nodir", "x.mtx"), g); err == nil {
+		t.Fatal("want error for unwritable path")
+	}
+	_ = os.Remove(path)
+}
+
+func TestHeaderCaseInsensitive(t *testing.T) {
+	in := "%%MATRIXMARKET MATRIX COORDINATE PATTERN GENERAL\n1 1 1\n1 1\n"
+	if _, err := Read(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+}

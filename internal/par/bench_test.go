@@ -1,0 +1,37 @@
+package par
+
+import "testing"
+
+func BenchmarkForStatic(b *testing.B) {
+	c := NewCounter(4)
+	for i := 0; i < b.N; i++ {
+		For(4, 1<<16, func(w, lo, hi int) {
+			var s int64
+			for j := lo; j < hi; j++ {
+				s += int64(j)
+			}
+			c.Add(w, s)
+		})
+	}
+}
+
+func BenchmarkForDynamic(b *testing.B) {
+	c := NewCounter(4)
+	for i := 0; i < b.N; i++ {
+		ForDynamic(4, 1<<16, 1024, func(w, lo, hi int) {
+			var s int64
+			for j := lo; j < hi; j++ {
+				s += int64(j)
+			}
+			c.Add(w, s)
+		})
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewCounter(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(0, 1)
+	}
+}

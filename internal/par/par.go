@@ -1,0 +1,156 @@
+// Package par provides the shared-memory parallel primitives used by every
+// parallel matching algorithm in this repository: a blocked parallel-for,
+// worker fan-out with per-worker state, and padded per-worker counters that
+// avoid false sharing (the pure-Go stand-in for the paper's NUMA-aware,
+// thread-pinned OpenMP runtime).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the worker count used when an Options.Threads is
+// zero: GOMAXPROCS at call time.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// clampWorkers normalizes a requested worker count.
+func clampWorkers(p int) int {
+	if p <= 0 {
+		return DefaultWorkers()
+	}
+	return p
+}
+
+// For runs body over [0, n) split into contiguous blocks across p workers.
+// body receives the worker id and the half-open range it owns. Blocks are
+// statically scheduled (contiguous, near-equal), matching the level-
+// synchronous structure of the algorithms where per-element work is small
+// and uniform enough that dynamic scheduling overhead is not repaid.
+func For(p int, n int, body func(worker, lo, hi int)) {
+	p = clampWorkers(p)
+	if n <= 0 {
+		return
+	}
+	if p == 1 || n == 1 {
+		body(0, 0, n)
+		return
+	}
+	if p > n {
+		p = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	chunk := n / p
+	rem := n % p
+	lo := 0
+	for w := 0; w < p; w++ {
+		hi := lo + chunk
+		if w < rem {
+			hi++
+		}
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			body(w, lo, hi)
+		}(w, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// ForDynamic runs body over [0, n) with dynamic chunk self-scheduling:
+// workers repeatedly claim the next `grain`-sized block from a shared atomic
+// cursor. Use when per-element cost is skewed (e.g. scanning vertices with
+// power-law degrees).
+func ForDynamic(p int, n int, grain int, body func(worker, lo, hi int)) {
+	p = clampWorkers(p)
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	if p == 1 {
+		body(0, 0, n)
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				lo := cursor.Add(int64(grain)) - int64(grain)
+				if lo >= int64(n) {
+					return
+				}
+				hi := lo + int64(grain)
+				if hi > int64(n) {
+					hi = int64(n)
+				}
+				body(w, int(lo), int(hi))
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Run launches p workers executing body(worker) and waits for all of them.
+func Run(p int, body func(worker int)) {
+	p = clampWorkers(p)
+	if p == 1 {
+		body(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			body(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// cacheLine is the assumed cache line size for padding.
+const cacheLine = 64
+
+// Counter is a set of per-worker int64 cells padded to separate cache lines.
+// Hot loops increment their own cell without synchronization; Sum is called
+// after the parallel section (synchronized by the fork/join of For/Run).
+type Counter struct {
+	cells []paddedInt64
+}
+
+type paddedInt64 struct {
+	v int64
+	_ [cacheLine - 8]byte
+}
+
+// NewCounter returns a Counter with p cells.
+func NewCounter(p int) *Counter {
+	return &Counter{cells: make([]paddedInt64, clampWorkers(p))}
+}
+
+// Add adds delta to worker w's cell. Not atomic: each worker must only
+// touch its own cell inside a parallel region.
+func (c *Counter) Add(w int, delta int64) { c.cells[w].v += delta }
+
+// Sum returns the total across workers. Call only outside parallel regions.
+func (c *Counter) Sum() int64 {
+	var s int64
+	for i := range c.cells {
+		s += c.cells[i].v
+	}
+	return s
+}
+
+// Reset zeroes all cells.
+func (c *Counter) Reset() {
+	for i := range c.cells {
+		c.cells[i].v = 0
+	}
+}

@@ -1,0 +1,205 @@
+// Package pf implements the Pothen–Fan algorithm with fairness: phases of
+// multi-source depth-first searches with lookahead, the strongest DFS-based
+// comparator in the paper (§V-A, implementation modeled on Azad et al.).
+//
+// Each phase resets the visited flags and launches a DFS from every
+// unmatched X vertex; threads claim Y vertices with CAS so the DFS trees
+// stay vertex-disjoint and each thread augments its own path immediately.
+// Lookahead gives every X vertex a persistent cursor that first scans for a
+// free Y neighbor before descending; fairness alternates the DFS adjacency
+// scan direction between phases so deep recursion does not starve the same
+// suffix of every adjacency list.
+package pf
+
+import (
+	"sync/atomic"
+	"time"
+
+	"graftmatch/internal/bipartite"
+	"graftmatch/internal/matching"
+	"graftmatch/internal/par"
+)
+
+const none = matching.None
+
+// Run computes a maximum cardinality matching with the fair Pothen–Fan
+// algorithm using p workers, updating m in place.
+func Run(g *bipartite.Graph, m *matching.Matching, p int) *matching.Stats {
+	if p <= 0 {
+		p = par.DefaultWorkers()
+	}
+	stats := &matching.Stats{Algorithm: "PF", Threads: p}
+	stats.InitialCardinality = m.Cardinality()
+	start := time.Now()
+
+	nx, ny := int(g.NX()), int(g.NY())
+	visited := make([]int32, ny)
+	lookahead := make([]int64, nx) // persistent lookahead cursors
+	roots := make([]int32, 0, nx)
+
+	edges := par.NewCounter(p)
+	paths := par.NewCounter(p)
+	lens := par.NewCounter(p)
+
+	// Reusable per-worker DFS stacks.
+	workers := make([]dfsState, p)
+	for w := range workers {
+		workers[w].init(nx)
+	}
+
+	fair := false
+	for {
+		roots = roots[:0]
+		for x := int32(0); x < int32(nx); x++ {
+			if m.MateX[x] == none {
+				roots = append(roots, x)
+			}
+		}
+		if len(roots) == 0 {
+			break
+		}
+		par.For(p, ny, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				visited[i] = 0
+			}
+		})
+
+		before := paths.Sum()
+		par.ForDynamic(p, len(roots), 1, func(w int, lo, hi int) {
+			st := &workers[w]
+			for i := lo; i < hi; i++ {
+				if n := st.search(g, m, roots[i], visited, lookahead, fair); n > 0 {
+					paths.Add(w, 1)
+					lens.Add(w, int64(n))
+				}
+			}
+			edges.Add(w, st.edges)
+			st.edges = 0
+		})
+		stats.Phases++
+		fair = !fair
+		if paths.Sum() == before {
+			break
+		}
+	}
+
+	stats.EdgesTraversed = edges.Sum()
+	stats.AugPaths = paths.Sum()
+	stats.AugPathLen = lens.Sum()
+	stats.Runtime = time.Since(start)
+	stats.FinalCardinality = m.Cardinality()
+	return stats
+}
+
+// dfsState is a worker-private iterative DFS stack.
+type dfsState struct {
+	pathX []int32 // X vertices on the current path
+	pathY []int32 // chosen Y under each X
+	iter  []int64 // next adjacency offset per depth
+	edges int64
+}
+
+func (st *dfsState) init(nx int) {
+	st.pathX = make([]int32, 0, 64)
+	st.pathY = make([]int32, 0, 64)
+	st.iter = make([]int64, 0, 64)
+}
+
+// search runs one DFS with lookahead from root x0. It returns the length of
+// the augmenting path in edges, or 0 when none was found. The path is
+// augmented before returning (claims make it vertex-disjoint from all
+// concurrent searches).
+func (st *dfsState) search(g *bipartite.Graph, m *matching.Matching, x0 int32, visited []int32, lookahead []int64, fair bool) int {
+	st.pathX = st.pathX[:0]
+	st.pathY = st.pathY[:0]
+	st.iter = st.iter[:0]
+	st.push(x0)
+	xptr, xnbr := g.XPtr(), g.XNbr()
+
+	for len(st.pathX) > 0 {
+		d := len(st.pathX) - 1
+		x := st.pathX[d]
+		base, end := xptr[x], xptr[x+1]
+
+		// Lookahead: advance x's persistent cursor hunting a free Y.
+		foundEnd := none
+		for la := lookahead[x]; la < end-base; la++ {
+			y := xnbr[base+la]
+			st.edges++
+			if atomic.LoadInt32(&m.MateY[y]) != none {
+				continue
+			}
+			if atomic.LoadInt32(&visited[y]) == 0 && atomic.CompareAndSwapInt32(&visited[y], 0, 1) {
+				// Claimed a free Y: augmenting path ends here.
+				lookahead[x] = la
+				foundEnd = y
+				break
+			}
+		}
+		if foundEnd != none {
+			st.pathY[d] = foundEnd
+			st.augment(m)
+			return 2*len(st.iter) - 1
+		}
+		lookahead[x] = end - base
+
+		// Regular DFS descent; scan direction alternates with fairness.
+		descended := false
+		deg := end - base
+		for st.iter[d] < deg {
+			k := st.iter[d]
+			st.iter[d]++
+			off := k
+			if fair {
+				off = deg - 1 - k
+			}
+			y := xnbr[base+off]
+			st.edges++
+			if atomic.LoadInt32(&visited[y]) != 0 {
+				continue
+			}
+			if !atomic.CompareAndSwapInt32(&visited[y], 0, 1) {
+				continue
+			}
+			mate := atomic.LoadInt32(&m.MateY[y])
+			if mate == none {
+				// Raced free vertex missed by lookahead (its cursor had
+				// already passed y): still a valid path end.
+				st.pathY[d] = y
+				st.augment(m)
+				return 2*len(st.iter) - 1
+			}
+			st.pathY[d] = y
+			st.push(mate)
+			descended = true
+			break
+		}
+		if !descended {
+			st.pop()
+		}
+	}
+	return 0
+}
+
+func (st *dfsState) push(x int32) {
+	st.pathX = append(st.pathX, x)
+	st.pathY = append(st.pathY, none)
+	st.iter = append(st.iter, 0)
+}
+
+func (st *dfsState) pop() {
+	d := len(st.pathX) - 1
+	st.pathX = st.pathX[:d]
+	st.pathY = st.pathY[:d]
+	st.iter = st.iter[:d]
+}
+
+// augment flips the path on the stack with atomic stores (concurrent
+// searches read mate arrays through atomic loads).
+func (st *dfsState) augment(m *matching.Matching) {
+	for d := range st.pathX {
+		x, y := st.pathX[d], st.pathY[d]
+		atomic.StoreInt32(&m.MateX[x], y)
+		atomic.StoreInt32(&m.MateY[y], x)
+	}
+}

@@ -1,0 +1,50 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+)
+
+// BenchmarkLocalPush measures the amortized cost of the local-buffer path
+// (one atomic per LocalCap pushes).
+func BenchmarkLocalPush(b *testing.B) {
+	f := NewFrontier(b.N + LocalCap)
+	ls := NewLocals(1, f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ls[0].Push(int32(i))
+	}
+	ls[0].Flush()
+}
+
+// BenchmarkDirectPush measures the one-atomic-per-push baseline the local
+// buffers exist to avoid.
+func BenchmarkDirectPush(b *testing.B) {
+	f := NewFrontier(b.N + 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Push(int32(i))
+	}
+}
+
+// BenchmarkContendedProducers measures throughput with p goroutines pushing
+// through locals into one frontier (the Graph500 queue scheme under
+// contention).
+func BenchmarkContendedProducers(b *testing.B) {
+	const p = 4
+	f := NewFrontier(b.N*p + p*LocalCap)
+	ls := NewLocals(p, f)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				ls[w].Push(int32(i))
+			}
+			ls[w].Flush()
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,168 @@
+package queue
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestFrontierPushAndSlice(t *testing.T) {
+	f := NewFrontier(10)
+	f.Push(3)
+	f.Push(1)
+	f.Push(4)
+	if f.Len() != 3 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	got := append([]int32(nil), f.Slice()...)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	want := []int32{1, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	f.Reset()
+	if f.Len() != 0 {
+		t.Fatalf("len after reset = %d", f.Len())
+	}
+}
+
+func TestFrontierPushBlock(t *testing.T) {
+	f := NewFrontier(100)
+	f.PushBlock([]int32{1, 2, 3})
+	f.PushBlock(nil)
+	f.PushBlock([]int32{4})
+	if f.Len() != 4 {
+		t.Fatalf("len = %d", f.Len())
+	}
+}
+
+func TestFrontierCapacityPanic(t *testing.T) {
+	f := NewFrontier(2)
+	f.Push(0)
+	f.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on overflow")
+		}
+	}()
+	f.Push(2)
+}
+
+func TestFrontierBlockCapacityPanic(t *testing.T) {
+	f := NewFrontier(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on block overflow")
+		}
+	}()
+	f.PushBlock([]int32{0, 1, 2})
+}
+
+func TestSwap(t *testing.T) {
+	a := NewFrontier(4)
+	b := NewFrontier(4)
+	a.Push(7)
+	a.Swap(b)
+	if a.Len() != 0 || b.Len() != 1 || b.Slice()[0] != 7 {
+		t.Fatalf("swap broken: a=%v b=%v", a.Slice(), b.Slice())
+	}
+}
+
+func TestLocalFlushSmall(t *testing.T) {
+	f := NewFrontier(10)
+	ls := NewLocals(2, f)
+	ls[0].Push(1)
+	ls[1].Push(2)
+	if f.Len() != 0 {
+		t.Fatal("local pushes must not reach global before flush")
+	}
+	ls[0].Flush()
+	ls[1].Flush()
+	if f.Len() != 2 {
+		t.Fatalf("len = %d, want 2", f.Len())
+	}
+	// Flushing empty buffers is a no-op.
+	ls[0].Flush()
+	if f.Len() != 2 {
+		t.Fatalf("len = %d after empty flush", f.Len())
+	}
+}
+
+func TestLocalAutoFlushOnFill(t *testing.T) {
+	n := LocalCap*3 + 17
+	f := NewFrontier(n)
+	ls := NewLocals(1, f)
+	for i := 0; i < n; i++ {
+		ls[0].Push(int32(i))
+	}
+	ls[0].Flush()
+	if f.Len() != n {
+		t.Fatalf("len = %d, want %d", f.Len(), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range f.Slice() {
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRebind(t *testing.T) {
+	a := NewFrontier(4)
+	b := NewFrontier(4)
+	ls := NewLocals(1, a)
+	ls[0].Push(1)
+	ls[0].Flush()
+	ls[0].Rebind(b)
+	ls[0].Push(2)
+	ls[0].Flush()
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("rebind routed wrong: a=%d b=%d", a.Len(), b.Len())
+	}
+}
+
+func TestRebindPanicsWithBufferedEntries(t *testing.T) {
+	a := NewFrontier(4)
+	ls := NewLocals(1, a)
+	ls[0].Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	ls[0].Rebind(NewFrontier(4))
+}
+
+// TestConcurrentProducers checks that many goroutines pushing through
+// locals lose nothing and duplicate nothing.
+func TestConcurrentProducers(t *testing.T) {
+	const p = 8
+	const perWorker = 5000
+	f := NewFrontier(p * perWorker)
+	ls := NewLocals(p, f)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ls[w].Push(int32(w*perWorker + i))
+			}
+			ls[w].Flush()
+		}(w)
+	}
+	wg.Wait()
+	if f.Len() != p*perWorker {
+		t.Fatalf("len = %d, want %d", f.Len(), p*perWorker)
+	}
+	seen := make([]bool, p*perWorker)
+	for _, v := range f.Slice() {
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}

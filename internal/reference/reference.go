@@ -1,0 +1,100 @@
+// Package reference provides deliberately simple, obviously-correct
+// implementations used only for differential testing: a no-tricks
+// single-path BFS maximum matcher and an exponential brute-force matcher
+// for tiny instances. They share no code with the optimized engines, so
+// agreement between the two families is strong evidence of correctness.
+package reference
+
+import (
+	"graftmatch/internal/bipartite"
+	"graftmatch/internal/matching"
+)
+
+const none = matching.None
+
+// SimpleMaximum computes a maximum matching by repeatedly running a plain
+// BFS over alternating paths from all unmatched X vertices and augmenting
+// along the single first path found. No pruning, no multi-source
+// augmentation, no initializer — O(n·m), unoptimized on purpose.
+func SimpleMaximum(g *bipartite.Graph) *matching.Matching {
+	m := matching.New(g.NX(), g.NY())
+	parent := make([]int32, g.NY())
+	visited := make([]bool, g.NY())
+	var frontier, next []int32
+	for {
+		for i := range visited {
+			visited[i] = false
+			parent[i] = none
+		}
+		frontier = frontier[:0]
+		for x := int32(0); x < g.NX(); x++ {
+			if m.MateX[x] == none {
+				frontier = append(frontier, x)
+			}
+		}
+		endY := none
+	search:
+		for len(frontier) > 0 {
+			next = next[:0]
+			for _, x := range frontier {
+				for _, y := range g.NbrX(x) {
+					if visited[y] {
+						continue
+					}
+					visited[y] = true
+					parent[y] = x
+					if m.MateY[y] == none {
+						endY = y
+						break search
+					}
+					next = append(next, m.MateY[y])
+				}
+			}
+			frontier, next = next, frontier
+		}
+		if endY == none {
+			return m
+		}
+		y := endY
+		for {
+			x := parent[y]
+			prev := m.MateX[x]
+			m.Match(x, y)
+			if prev == none {
+				break
+			}
+			y = prev
+		}
+	}
+}
+
+// BruteForceMaximum computes the exact maximum matching cardinality by
+// exhaustive search over edge subsets with branch-and-bound. Exponential;
+// callers must keep instances tiny (≲ 25 edges).
+func BruteForceMaximum(g *bipartite.Graph) int64 {
+	edges := g.Edges(nil)
+	usedX := make([]bool, g.NX())
+	usedY := make([]bool, g.NY())
+	var best int64
+	var rec func(i int, size int64)
+	rec = func(i int, size int64) {
+		if size+int64(len(edges)-i) <= best {
+			return // bound: even taking every remaining edge cannot win
+		}
+		if i == len(edges) {
+			if size > best {
+				best = size
+			}
+			return
+		}
+		e := edges[i]
+		if !usedX[e.X] && !usedY[e.Y] {
+			usedX[e.X], usedY[e.Y] = true, true
+			rec(i+1, size+1)
+			usedX[e.X], usedY[e.Y] = false, false
+		}
+		rec(i+1, size)
+	}
+	rec(0, 0)
+	return best
+}

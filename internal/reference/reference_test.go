@@ -1,0 +1,66 @@
+package reference
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graftmatch/internal/bipartite"
+	"graftmatch/internal/matching"
+)
+
+func TestSimpleMaximumBasics(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *bipartite.Graph
+		want int64
+	}{
+		{"empty", bipartite.MustFromEdges(0, 0, nil), 0},
+		{"no-edges", bipartite.MustFromEdges(3, 3, nil), 0},
+		{"single", bipartite.MustFromEdges(1, 1, []bipartite.Edge{{X: 0, Y: 0}}), 1},
+		{"path", bipartite.MustFromEdges(3, 3, []bipartite.Edge{
+			{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 1}, {X: 2, Y: 2}}), 3},
+	}
+	for _, c := range cases {
+		m := SimpleMaximum(c.g)
+		if m.Cardinality() != c.want {
+			t.Fatalf("%s: %d, want %d", c.name, m.Cardinality(), c.want)
+		}
+		if err := matching.VerifyMaximum(c.g, m); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+	}
+}
+
+// TestSimpleVsBruteForce: on tiny random instances the BFS matcher and the
+// exhaustive search must agree exactly.
+func TestSimpleVsBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nx := int32(rng.Intn(6) + 1)
+		ny := int32(rng.Intn(6) + 1)
+		b := bipartite.NewBuilder(nx, ny)
+		for i := 0; i < 12; i++ {
+			_ = b.AddEdge(int32(rng.Intn(int(nx))), int32(rng.Intn(int(ny))))
+		}
+		g := b.Build()
+		return SimpleMaximum(g).Cardinality() == BruteForceMaximum(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBruteForceBound(t *testing.T) {
+	// Complete K_{3,3}: maximum is 3.
+	var edges []bipartite.Edge
+	for x := int32(0); x < 3; x++ {
+		for y := int32(0); y < 3; y++ {
+			edges = append(edges, bipartite.Edge{X: x, Y: y})
+		}
+	}
+	g := bipartite.MustFromEdges(3, 3, edges)
+	if got := BruteForceMaximum(g); got != 3 {
+		t.Fatalf("K33 = %d, want 3", got)
+	}
+}

@@ -1,0 +1,92 @@
+package ssbfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graftmatch/internal/bipartite"
+	"graftmatch/internal/gen"
+	"graftmatch/internal/hk"
+	"graftmatch/internal/matching"
+	"graftmatch/internal/matchinit"
+)
+
+func TestBasicInstances(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *bipartite.Graph
+		want int64
+	}{
+		{"empty", bipartite.MustFromEdges(0, 0, nil), 0},
+		{"no-edges", bipartite.MustFromEdges(3, 3, nil), 0},
+		{"single", bipartite.MustFromEdges(1, 1, []bipartite.Edge{{X: 0, Y: 0}}), 1},
+		{"path", bipartite.MustFromEdges(3, 3, []bipartite.Edge{
+			{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 1}, {X: 2, Y: 2}}), 3},
+		{"star", bipartite.MustFromEdges(4, 1, []bipartite.Edge{
+			{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 3, Y: 0}}), 1},
+	}
+	for _, c := range cases {
+		m := matching.New(c.g.NX(), c.g.NY())
+		stats := Run(c.g, m)
+		if m.Cardinality() != c.want {
+			t.Fatalf("%s: %d, want %d (%v)", c.name, m.Cardinality(), c.want, stats)
+		}
+		if err := matching.VerifyMaximum(c.g, m); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestMatchesHopcroftKarp(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ER(120, 110, 500, seed)
+		a := matchinit.KarpSipser(g, seed)
+		b := a.Clone()
+		Run(g, a)
+		hk.Run(g, b)
+		return a.Cardinality() == b.Cardinality() && matching.VerifyMaximum(g, a) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPruningReducesWork: on a graph with low matching number, SS-BFS from
+// an empty matching must traverse far fewer edges than total reachable work
+// because failed trees are hidden (the §II-C property).
+func TestPruningReducesWork(t *testing.T) {
+	g := gen.RankDeficient(1000, 1000, 200, 4, 3)
+	m := matching.New(g.NX(), g.NY())
+	stats := Run(g, m)
+	if m.Cardinality() != 200 {
+		t.Fatalf("cardinality %d, want 200", m.Cardinality())
+	}
+	// 800 X vertices fail. Without pruning each failure would rescan the
+	// whole deficient core (≈ n·(extra+1) edges each). With pruning the
+	// total must stay well under that quadratic blowup.
+	noPruneLowerBound := int64(800) * g.NumEdges() / 4
+	if stats.EdgesTraversed >= noPruneLowerBound {
+		t.Fatalf("traversed %d edges; pruning seems broken (bound %d)", stats.EdgesTraversed, noPruneLowerBound)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	g := gen.ER(100, 100, 300, 2)
+	m := matching.New(g.NX(), g.NY())
+	stats := Run(g, m)
+	if stats.Algorithm != "SS-BFS" {
+		t.Fatalf("name %q", stats.Algorithm)
+	}
+	if stats.FinalCardinality != m.Cardinality() || stats.InitialCardinality != 0 {
+		t.Fatalf("cardinalities wrong: %+v", stats)
+	}
+	if stats.AugPaths != stats.FinalCardinality {
+		t.Fatalf("from empty matching, augpaths %d must equal |M| %d", stats.AugPaths, stats.FinalCardinality)
+	}
+	if stats.AugPaths > 0 && stats.AugPathLen < stats.AugPaths {
+		t.Fatalf("path lengths too small: %+v", stats)
+	}
+	if stats.Phases == 0 || stats.EdgesTraversed == 0 {
+		t.Fatalf("missing accounting: %+v", stats)
+	}
+}

@@ -1,0 +1,95 @@
+// Package ssdfs implements the single-source DFS matching baseline
+// (Algorithm 1 with depth-first searches). Like SS-BFS it permanently
+// prunes failed search trees; unlike the BFS variants it tends to find long
+// augmenting paths (Fig. 1c).
+package ssdfs
+
+import (
+	"time"
+
+	"graftmatch/internal/bipartite"
+	"graftmatch/internal/matching"
+)
+
+const none = matching.None
+
+// Run computes a maximum cardinality matching by single-source DFS
+// augmentation, updating m in place.
+func Run(g *bipartite.Graph, m *matching.Matching) *matching.Stats {
+	stats := &matching.Stats{Algorithm: "SS-DFS", Threads: 1}
+	stats.InitialCardinality = m.Cardinality()
+	start := time.Now()
+
+	nx, ny := int(g.NX()), int(g.NY())
+	visited := make([]bool, ny)
+	touched := make([]int32, 0, ny)
+
+	// Iterative DFS over X vertices. pathX[d] is the X vertex at depth d;
+	// iter[d] is the index of the next neighbor of pathX[d] to scan;
+	// pathY[d] is the Y vertex chosen under pathX[d] (once matched).
+	pathX := make([]int32, 0, nx)
+	pathY := make([]int32, 0, nx)
+	iter := make([]int64, 0, nx)
+
+	for x0 := int32(0); x0 < int32(nx); x0++ {
+		if m.MateX[x0] != none {
+			continue
+		}
+		stats.Phases++
+		touched = touched[:0]
+		pathX = pathX[:0]
+		pathY = pathY[:0]
+		iter = iter[:0]
+		pathX = append(pathX, x0)
+		pathY = append(pathY, none)
+		iter = append(iter, 0)
+		found := false
+
+		for len(pathX) > 0 {
+			d := len(pathX) - 1
+			x := pathX[d]
+			nbr := g.NbrX(x)
+			if iter[d] >= int64(len(nbr)) {
+				// Exhausted x: backtrack.
+				pathX = pathX[:d]
+				pathY = pathY[:d]
+				iter = iter[:d]
+				continue
+			}
+			y := nbr[iter[d]]
+			iter[d]++
+			stats.EdgesTraversed++
+			if visited[y] {
+				continue
+			}
+			visited[y] = true
+			touched = append(touched, y)
+			pathY[d] = y
+			mate := m.MateY[y]
+			if mate == none {
+				found = true
+				break
+			}
+			pathX = append(pathX, mate)
+			pathY = append(pathY, none)
+			iter = append(iter, 0)
+		}
+
+		if !found {
+			continue // prune: visited flags of the failed tree stay set
+		}
+		// Augment along the DFS stack: (pathX[0], pathY[0], ..., pathY[d]).
+		for d := 0; d < len(pathX); d++ {
+			m.Match(pathX[d], pathY[d])
+		}
+		stats.AugPaths++
+		stats.AugPathLen += int64(2*len(pathX) - 1)
+		for _, y := range touched {
+			visited[y] = false
+		}
+	}
+
+	stats.Runtime = time.Since(start)
+	stats.FinalCardinality = m.Cardinality()
+	return stats
+}

@@ -1,0 +1,104 @@
+package ssdfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graftmatch/internal/bipartite"
+	"graftmatch/internal/gen"
+	"graftmatch/internal/hk"
+	"graftmatch/internal/matching"
+	"graftmatch/internal/matchinit"
+	"graftmatch/internal/ssbfs"
+)
+
+func TestBasicInstances(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *bipartite.Graph
+		want int64
+	}{
+		{"empty", bipartite.MustFromEdges(0, 0, nil), 0},
+		{"no-edges", bipartite.MustFromEdges(3, 3, nil), 0},
+		{"single", bipartite.MustFromEdges(1, 1, []bipartite.Edge{{X: 0, Y: 0}}), 1},
+		{"path", bipartite.MustFromEdges(3, 3, []bipartite.Edge{
+			{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 1}, {X: 2, Y: 2}}), 3},
+		{"complete2x3", bipartite.MustFromEdges(2, 3, []bipartite.Edge{
+			{X: 0, Y: 0}, {X: 0, Y: 1}, {X: 0, Y: 2}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 1, Y: 2}}), 2},
+	}
+	for _, c := range cases {
+		m := matching.New(c.g.NX(), c.g.NY())
+		Run(c.g, m)
+		if m.Cardinality() != c.want {
+			t.Fatalf("%s: %d, want %d", c.name, m.Cardinality(), c.want)
+		}
+		if err := matching.VerifyMaximum(c.g, m); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestMatchesHopcroftKarp(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ER(120, 130, 550, seed)
+		a := matchinit.KarpSipser(g, seed)
+		b := a.Clone()
+		Run(g, a)
+		hk.Run(g, b)
+		return a.Cardinality() == b.Cardinality() && matching.VerifyMaximum(g, a) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDFSFindsLongerPathsThanBFS reproduces the Fig. 1(c) observation:
+// DFS-based search finds longer augmenting paths than BFS-based search on
+// graphs with room to wander.
+func TestDFSFindsLongerPathsThanBFS(t *testing.T) {
+	var dfsLen, bfsLen, dfsPaths, bfsPaths int64
+	for seed := int64(0); seed < 5; seed++ {
+		g := gen.ER(400, 400, 1800, seed)
+		md := matching.New(g.NX(), g.NY())
+		sd := Run(g, md)
+		mb := matching.New(g.NX(), g.NY())
+		sb := ssbfs.Run(g, mb)
+		dfsLen += sd.AugPathLen
+		dfsPaths += sd.AugPaths
+		bfsLen += sb.AugPathLen
+		bfsPaths += sb.AugPaths
+	}
+	avgDFS := float64(dfsLen) / float64(dfsPaths)
+	avgBFS := float64(bfsLen) / float64(bfsPaths)
+	if avgDFS < avgBFS {
+		t.Fatalf("expected DFS paths ≥ BFS paths on average: dfs=%.2f bfs=%.2f", avgDFS, avgBFS)
+	}
+}
+
+func TestDeepGraphNoStackOverflow(t *testing.T) {
+	// A path graph pre-matched from the "wrong" side leaves exactly one
+	// unmatched X whose only augmenting path walks the entire graph —
+	// maximal DFS depth in a single search. The implementation is
+	// iterative so this must not overflow (a recursive DFS would need
+	// ~200k frames).
+	n := int32(200000)
+	var edges []bipartite.Edge
+	for i := int32(0); i < n; i++ {
+		edges = append(edges, bipartite.Edge{X: i, Y: i})
+		if i+1 < n {
+			edges = append(edges, bipartite.Edge{X: i + 1, Y: i})
+		}
+	}
+	g := bipartite.MustFromEdges(n, n, edges)
+	m := matching.New(n, n)
+	for i := int32(0); i+1 < n; i++ {
+		m.Match(i+1, i) // leaves x0 and y_{n-1} unmatched
+	}
+	stats := Run(g, m)
+	if m.Cardinality() != int64(n) {
+		t.Fatalf("cardinality %d, want %d", m.Cardinality(), n)
+	}
+	if stats.AugPathLen != int64(2*n-1) {
+		t.Fatalf("augmenting path length %d, want %d", stats.AugPathLen, 2*n-1)
+	}
+}
