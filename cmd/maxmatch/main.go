@@ -4,21 +4,31 @@
 // Usage:
 //
 //	maxmatch [-algo msbfsgraft|pf|pr|hk|ssbfs|ssdfs|msbfs|diropt] [-threads N]
-//	         [-init ks|greedy|pgreedy|pks|none] [-verify] [-stats] [-json]
-//	         [-out matching.txt] file.{mtx,el,txt}[.gz]
+//	         [-init ks|greedy|pgreedy|pks|none] [-timeout 30s] [-verify]
+//	         [-stats] [-json] [-out matching.txt] file.{mtx,el,txt}[.gz]
+//
+// Exit status: 0 on success, 1 on error, 3 when -timeout expired and the
+// reported matching is a valid partial result rather than a certified
+// maximum.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"graftmatch"
 )
+
+// errPartial signals a degraded (timeout-bounded) run: the matching printed
+// is valid and resumable but not certified maximum. Mapped to exit status 3.
+var errPartial = errors.New("timeout reached: matching is partial (valid and resumable), not certified maximum")
 
 var algoByName = map[string]graftmatch.Algorithm{
 	"msbfsgraft": graftmatch.MSBFSGraft,
@@ -42,6 +52,9 @@ var initByName = map[string]graftmatch.Initializer{
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "maxmatch:", err)
+		if errors.Is(err, errPartial) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
@@ -57,6 +70,7 @@ func run(args []string) error {
 	printMates := fs.Bool("mates", false, "print the mate of every row vertex")
 	outPath := fs.String("out", "", "write the matching (1-based \"row col\" pairs) to this file")
 	jsonOut := fs.Bool("json", false, "print the result summary as JSON")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the exact algorithm (0 = unlimited); on expiry the valid partial matching is reported and the exit status is 3")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,12 +92,16 @@ func run(args []string) error {
 	}
 	fmt.Printf("graph: %d rows, %d cols, %d nonzeros\n", g.NX(), g.NY(), g.NumEdges())
 
-	res, err := graftmatch.Match(g, graftmatch.Options{
+	opts := graftmatch.Options{
 		Algorithm:   algo,
 		Initializer: initz,
 		Threads:     *threads,
 		Seed:        *seed,
-	})
+	}
+	if *timeout > 0 {
+		opts.Deadline = time.Now().Add(*timeout)
+	}
+	res, err := graftmatch.Match(g, opts)
 	if err != nil {
 		return err
 	}
@@ -93,33 +111,51 @@ func run(args []string) error {
 		}
 	}
 	if *jsonOut {
-		return writeJSON(os.Stdout, g, res)
-	}
-	fmt.Printf("algorithm: %s\n", res.Stats.Algorithm)
-	fmt.Printf("maximum matching cardinality: %d\n", res.Cardinality)
-	fmt.Printf("runtime: %s\n", res.Stats.Runtime)
-	if *showStats {
-		fmt.Printf("initial |M| (after %s): %d\n", *initName, res.Stats.InitialCardinality)
-		fmt.Printf("phases: %d\n", res.Stats.Phases)
-		fmt.Printf("edges traversed: %d (%.2f MTEPS)\n", res.Stats.EdgesTraversed, res.Stats.MTEPS())
-		fmt.Printf("augmenting paths: %d (avg length %.2f)\n", res.Stats.AugPaths, res.Stats.AvgAugPathLen())
-		if res.Stats.Grafts+res.Stats.Rebuilds > 0 {
-			fmt.Printf("grafted phases: %d, rebuilt phases: %d\n", res.Stats.Grafts, res.Stats.Rebuilds)
+		if err := writeJSON(os.Stdout, g, res); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("algorithm: %s\n", res.Stats.Algorithm)
+		if res.Complete {
+			fmt.Printf("maximum matching cardinality: %d\n", res.Cardinality)
+		} else {
+			fmt.Printf("PARTIAL matching cardinality: %d (timeout %s reached; resumable, not certified maximum)\n",
+				res.Cardinality, *timeout)
+		}
+		fmt.Printf("runtime: %s\n", res.Stats.Runtime)
+		if *showStats {
+			fmt.Printf("initial |M| (after %s): %d\n", *initName, res.Stats.InitialCardinality)
+			fmt.Printf("phases: %d\n", res.Stats.Phases)
+			fmt.Printf("edges traversed: %d (%.2f MTEPS)\n", res.Stats.EdgesTraversed, res.Stats.MTEPS())
+			fmt.Printf("augmenting paths: %d (avg length %.2f)\n", res.Stats.AugPaths, res.Stats.AvgAugPathLen())
+			if res.Stats.Grafts+res.Stats.Rebuilds > 0 {
+				fmt.Printf("grafted phases: %d, rebuilt phases: %d\n", res.Stats.Grafts, res.Stats.Rebuilds)
+			}
+		}
+		if *verify {
+			if res.Complete {
+				if err := graftmatch.VerifyMaximum(g, res.MateX, res.MateY); err != nil {
+					return fmt.Errorf("verification FAILED: %w", err)
+				}
+				fmt.Println("verified: matching is valid and maximum (König certificate)")
+			} else {
+				if err := graftmatch.VerifyMatching(g, res.MateX, res.MateY); err != nil {
+					return fmt.Errorf("verification FAILED: %w", err)
+				}
+				fmt.Println("verified: partial matching is valid (maximality not certified)")
+			}
+		}
+		if *printMates {
+			for x, y := range res.MateX {
+				fmt.Printf("%d %d\n", x+1, y+1) // 1-based like Matrix Market
+			}
+		}
+		if *outPath != "" {
+			fmt.Printf("matching written to %s\n", *outPath)
 		}
 	}
-	if *verify {
-		if err := graftmatch.VerifyMaximum(g, res.MateX, res.MateY); err != nil {
-			return fmt.Errorf("verification FAILED: %w", err)
-		}
-		fmt.Println("verified: matching is valid and maximum (König certificate)")
-	}
-	if *printMates {
-		for x, y := range res.MateX {
-			fmt.Printf("%d %d\n", x+1, y+1) // 1-based like Matrix Market
-		}
-	}
-	if *outPath != "" {
-		fmt.Printf("matching written to %s\n", *outPath)
+	if !res.Complete {
+		return errPartial
 	}
 	return nil
 }
@@ -155,6 +191,7 @@ func writeJSON(w io.Writer, g *graftmatch.Graph, res *graftmatch.Result) error {
 		Cols           int32   `json:"cols"`
 		Nonzeros       int64   `json:"nonzeros"`
 		Cardinality    int64   `json:"cardinality"`
+		Complete       bool    `json:"complete"`
 		InitialCard    int64   `json:"initial_cardinality"`
 		Phases         int64   `json:"phases"`
 		EdgesTraversed int64   `json:"edges_traversed"`
@@ -171,6 +208,7 @@ func writeJSON(w io.Writer, g *graftmatch.Graph, res *graftmatch.Result) error {
 		Cols:           g.NY(),
 		Nonzeros:       g.NumEdges(),
 		Cardinality:    res.Cardinality,
+		Complete:       res.Complete,
 		InitialCard:    res.Stats.InitialCardinality,
 		Phases:         res.Stats.Phases,
 		EdgesTraversed: res.Stats.EdgesTraversed,

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -66,6 +67,38 @@ func TestRunErrors(t *testing.T) {
 		if err := run(args); err == nil {
 			t.Errorf("args %v: want error", args)
 		}
+	}
+}
+
+// TestTimeoutPartial: an immediately-expiring timeout must yield the
+// distinct errPartial (exit status 3 in main), with -verify accepting the
+// partial matching, for both parallel and serial algorithms.
+func TestTimeoutPartial(t *testing.T) {
+	path := writeTestMatrix(t)
+	for _, algo := range []string{"msbfsgraft", "pf", "pr", "hk"} {
+		err := run([]string{"-algo", algo, "-init", "none", "-timeout", "1ns", "-verify", "-stats", path})
+		if !errors.Is(err, errPartial) {
+			t.Fatalf("algo %s: got %v, want errPartial", algo, err)
+		}
+	}
+}
+
+// TestTimeoutGenerous: a timeout the run comfortably beats must change
+// nothing.
+func TestTimeoutGenerous(t *testing.T) {
+	path := writeTestMatrix(t)
+	if err := run([]string{"-timeout", "1h", "-verify", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimeoutPartialJSON: the JSON summary must carry complete=false and
+// the run must still exit via errPartial.
+func TestTimeoutPartialJSON(t *testing.T) {
+	path := writeTestMatrix(t)
+	err := run([]string{"-init", "none", "-timeout", "1ns", "-json", path})
+	if !errors.Is(err, errPartial) {
+		t.Fatalf("got %v, want errPartial", err)
 	}
 }
 

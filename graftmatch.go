@@ -21,8 +21,10 @@
 package graftmatch
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"graftmatch/internal/bipartite"
 	"graftmatch/internal/core"
@@ -167,6 +169,21 @@ type Options struct {
 	// TraceFrontiers records per-level frontier sizes (Fig. 8) for the
 	// MS-BFS family.
 	TraceFrontiers bool
+
+	// Deadline, when non-zero, bounds the exact algorithm's wall-clock
+	// time. A run that reaches it stops at the next consistent point (a
+	// phase or round boundary) and returns the partial matching with
+	// Result.Complete == false and a nil error. Both Match and MatchContext
+	// honor it; the initializer is not interrupted.
+	Deadline time.Time
+
+	// OnPhase, when non-nil, is invoked on the calling goroutine after
+	// every completed phase of a parallel algorithm (MS-BFS family,
+	// Pothen–Fan; push-relabel calls it at global relabels) with the phase
+	// count and the current matching cardinality. The mate arrays form a
+	// valid matching at each call; cancelling the MatchContext context from
+	// the hook stops the run at that boundary. Serial algorithms ignore it.
+	OnPhase func(phase, cardinality int64)
 }
 
 // Result is the outcome of Match.
@@ -176,69 +193,118 @@ type Result struct {
 	MateX []int32
 	MateY []int32
 
-	// Cardinality is |M|, the maximum matching size.
+	// Cardinality is |M|, the matching size. Maximum when Complete.
 	Cardinality int64
+
+	// Complete reports whether the matching is maximum. It is false only
+	// when a context or Options.Deadline stopped the run early; the mate
+	// arrays then hold the valid partial matching of the last consistent
+	// state, which ResumeMatch can continue from.
+	Complete bool
 
 	// Stats holds the run metrics of the exact algorithm (not including
 	// the initializer).
 	Stats *Stats
 }
 
-// Match computes a maximum cardinality matching of g.
+// Match computes a maximum cardinality matching of g. It is
+// MatchContext with a background context; Options.Deadline still applies.
 func Match(g *Graph, opts Options) (*Result, error) {
+	return MatchContext(context.Background(), g, opts)
+}
+
+// MatchContext computes a maximum cardinality matching of g under ctx.
+//
+// Cancellation — an explicit cancel, a context deadline, or Options.Deadline
+// — stops the algorithm at its next consistent point: a phase boundary for
+// the MS-BFS family and Pothen–Fan, a round boundary for push-relabel. The
+// call then returns the partial matching accumulated so far with
+// Result.Complete == false and a NIL error: a degraded-but-valid answer, not
+// a failure. The partial matching always passes VerifyMatching, contains
+// every pair matched by the initializer (matched vertices never become
+// unmatched), and can be continued to a maximum matching with ResumeMatch or
+// ResumeMatchContext.
+//
+// A nil Result with a non-nil error signals a real failure: a nil graph,
+// unknown options, or a worker panic contained by the parallel runtime
+// (returned as *par.PanicError with the worker's stack).
+//
+// The serial algorithms (HopcroftKarp, SSBFS, SSDFS) check ctx only before
+// starting; once launched they run to completion.
+func MatchContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 	if g == nil {
 		return nil, fmt.Errorf("graftmatch: nil graph")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	m, err := initialize(g, opts)
 	if err != nil {
 		return nil, err
 	}
-	return finishMatch(g, m, opts)
+	return finishMatch(ctx, g, m, opts)
 }
 
 // finishMatch dispatches the exact algorithm on an already-initialized
-// matching and assembles the Result.
-func finishMatch(g *Graph, m *matching.Matching, opts Options) (*Result, error) {
+// matching and assembles the Result, translating a cancellation into a
+// partial (Complete == false) Result with nil error.
+func finishMatch(ctx context.Context, g *Graph, m *matching.Matching, opts Options) (*Result, error) {
+	if !opts.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, opts.Deadline)
+		defer cancel()
+	}
 	var stats *Stats
+	var err error
 	switch opts.Algorithm {
-	case MSBFSGraft:
-		stats = core.Run(g, m, core.Options{
-			Threads:            opts.Threads,
-			Alpha:              opts.Alpha,
-			DirectionOptimized: true,
-			Grafting:           true,
-			TraceFrontiers:     opts.TraceFrontiers,
-		})
-	case MSBFS:
-		stats = core.Run(g, m, core.Options{
+	case MSBFSGraft, MSBFS, MSBFSDirOpt:
+		co := core.Options{
 			Threads:        opts.Threads,
 			Alpha:          opts.Alpha,
 			TraceFrontiers: opts.TraceFrontiers,
-		})
-	case MSBFSDirOpt:
-		stats = core.Run(g, m, core.Options{
-			Threads:            opts.Threads,
-			Alpha:              opts.Alpha,
-			DirectionOptimized: true,
-			TraceFrontiers:     opts.TraceFrontiers,
-		})
+			OnPhase:        opts.OnPhase,
+		}
+		if opts.Algorithm != MSBFS {
+			co.DirectionOptimized = true
+		}
+		co.Grafting = opts.Algorithm == MSBFSGraft
+		stats, err = core.RunCtx(ctx, g, m, co)
 	case PothenFan:
-		stats = pf.Run(g, m, opts.Threads)
+		stats, err = pf.RunCtx(ctx, g, m, pf.Options{Threads: opts.Threads, OnPhase: opts.OnPhase})
 	case PushRelabel:
-		stats = pushrelabel.Run(g, m, pushrelabel.Options{Threads: opts.Threads})
-	case HopcroftKarp:
-		stats = hk.Run(g, m)
-	case SSBFS:
-		stats = ssbfs.Run(g, m)
-	case SSDFS:
-		stats = ssdfs.Run(g, m)
+		stats, err = pushrelabel.RunCtx(ctx, g, m, pushrelabel.Options{Threads: opts.Threads, OnPhase: opts.OnPhase})
+	case HopcroftKarp, SSBFS, SSDFS:
+		if err = ctx.Err(); err == nil {
+			switch opts.Algorithm {
+			case HopcroftKarp:
+				stats = hk.Run(g, m)
+			case SSBFS:
+				stats = ssbfs.Run(g, m)
+			default:
+				stats = ssdfs.Run(g, m)
+			}
+		}
 	default:
 		return nil, fmt.Errorf("graftmatch: unknown algorithm %v", opts.Algorithm)
+	}
+	if err != nil {
+		if !core.IsCancellation(err) {
+			return nil, err // contained worker panic, not a cancellation
+		}
+		if stats == nil { // serial algorithm skipped under an expired context
+			stats = &matching.Stats{
+				Algorithm:          opts.Algorithm.String(),
+				Threads:            1,
+				InitialCardinality: m.Cardinality(),
+				FinalCardinality:   m.Cardinality(),
+			}
+		}
 	}
 	return &Result{
 		MateX:       m.MateX,
 		MateY:       m.MateY,
 		Cardinality: m.Cardinality(),
+		Complete:    stats.Complete,
 		Stats:       stats,
 	}, nil
 }
@@ -270,15 +336,26 @@ func MaximumMatching(g *Graph) ([]int32, int64, error) {
 	return res.MateX, res.Cardinality, nil
 }
 
-// VerifyMatching checks that the mate arrays form a valid matching of g.
+// VerifyMatching checks that the mate arrays form a valid matching of g:
+// mutually consistent, in range, and matched pairs are edges. Partial
+// matchings (including those returned by an interrupted MatchContext) pass.
+// Malformed input — a nil graph or mate arrays whose lengths do not match
+// g's dimensions — yields a descriptive error, never a panic.
 func VerifyMatching(g *Graph, mateX, mateY []int32) error {
+	if g == nil {
+		return fmt.Errorf("graftmatch: nil graph")
+	}
 	m := &matching.Matching{MateX: mateX, MateY: mateY}
 	return m.Verify(g)
 }
 
 // VerifyMaximum proves that the matching is valid and of maximum
-// cardinality via the König vertex-cover certificate.
+// cardinality via the König vertex-cover certificate. Like VerifyMatching
+// it rejects malformed input with a descriptive error instead of panicking.
 func VerifyMaximum(g *Graph, mateX, mateY []int32) error {
+	if g == nil {
+		return fmt.Errorf("graftmatch: nil graph")
+	}
 	m := &matching.Matching{MateX: mateX, MateY: mateY}
 	return matching.VerifyMaximum(g, m)
 }
@@ -295,11 +372,24 @@ func BlockTriangularForm(g *Graph, opts Options) (*Decomposition, error) {
 }
 
 // ResumeMatch continues a maximum matching computation from an existing
-// valid (possibly partial, non-maximal) matching given by mate arrays. The
-// arrays are copied; the result is a fresh maximum matching.
+// valid (possibly partial, non-maximal) matching given by mate arrays —
+// typically the MateX/MateY of an incomplete Result. The arrays are copied
+// and validated first: mismatched lengths or an invalid matching yield a
+// descriptive error, never a panic. Because matched vertices stay matched,
+// resuming an interrupted run reaches the same cardinality an uninterrupted
+// run would have.
 func ResumeMatch(g *Graph, mateX, mateY []int32, opts Options) (*Result, error) {
+	return ResumeMatchContext(context.Background(), g, mateX, mateY, opts)
+}
+
+// ResumeMatchContext is ResumeMatch under a cancellation context, with the
+// same partial-result semantics as MatchContext.
+func ResumeMatchContext(ctx context.Context, g *Graph, mateX, mateY []int32, opts Options) (*Result, error) {
 	if g == nil {
 		return nil, fmt.Errorf("graftmatch: nil graph")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	m := &matching.Matching{
 		MateX: append([]int32(nil), mateX...),
@@ -309,5 +399,5 @@ func ResumeMatch(g *Graph, mateX, mateY []int32, opts Options) (*Result, error) 
 		return nil, fmt.Errorf("graftmatch: invalid initial matching: %w", err)
 	}
 	opts.Initializer = NoInit // the provided matching replaces the initializer
-	return finishMatch(g, m, opts)
+	return finishMatch(ctx, g, m, opts)
 }

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"graftmatch/internal/gen"
+	"graftmatch/internal/matching"
+	"graftmatch/internal/par"
+)
+
+// TestRunCtxCancelAtPhaseBoundary cancels from the OnPhase hook after the
+// first phase: the engine must stop with the context's error, Complete
+// false, and a valid partial matching no smaller than the initial one,
+// which a follow-up run finishes to the uninterrupted cardinality.
+func TestRunCtxCancelAtPhaseBoundary(t *testing.T) {
+	g := gen.ER(400, 400, 1200, 3)
+	full := matching.New(g.NX(), g.NY())
+	Run(g, full, FullOptions(2))
+	want := full.Cardinality()
+
+	for _, threads := range []int{1, 2, 4} {
+		m := matching.New(g.NX(), g.NY())
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		opts := FullOptions(threads)
+		opts.OnPhase = func(phase, card int64) {
+			if phase == 1 {
+				cancel()
+			}
+		}
+		stats, err := RunCtx(ctx, g, m, opts)
+		if !IsCancellation(err) {
+			t.Fatalf("threads=%d: err=%v, want cancellation", threads, err)
+		}
+		if stats.Complete {
+			t.Fatalf("threads=%d: cancelled run marked complete", threads)
+		}
+		if err := m.Verify(g); err != nil {
+			t.Fatalf("threads=%d: partial matching invalid: %v", threads, err)
+		}
+		if m.Cardinality() < stats.InitialCardinality {
+			t.Fatalf("threads=%d: cardinality regressed: %d < %d",
+				threads, m.Cardinality(), stats.InitialCardinality)
+		}
+		// Resume to completion: matched-stays-matched means the same
+		// maximum is reached.
+		stats2, err := RunCtx(context.Background(), g, m, FullOptions(threads))
+		if err != nil || !stats2.Complete {
+			t.Fatalf("threads=%d: resume failed: %v", threads, err)
+		}
+		if m.Cardinality() != want {
+			t.Fatalf("threads=%d: resumed to %d, want %d", threads, m.Cardinality(), want)
+		}
+	}
+}
+
+// TestRunCtxPreCancelled: an already-expired context must stop the engine
+// before it augments anything, leaving the input matching untouched.
+func TestRunCtxPreCancelled(t *testing.T) {
+	g := gen.ER(100, 100, 400, 1)
+	m := matching.New(g.NX(), g.NY())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stats, err := RunCtx(ctx, g, m, FullOptions(2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if stats.Complete || m.Cardinality() != 0 {
+		t.Fatalf("pre-cancelled run did work: complete=%v |M|=%d", stats.Complete, m.Cardinality())
+	}
+	if err := m.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunCtxWorkerPanic injects a panic in one top-down worker via the test
+// hook: RunCtx must return it as a *par.PanicError (no crash, no deadlock)
+// and Run must re-raise it.
+func TestRunCtxWorkerPanic(t *testing.T) {
+	g := gen.ER(400, 400, 1600, 5)
+	// Panic on whichever worker claims a block first: on few-core machines
+	// one worker can claim every block, so keying on a specific worker id
+	// would make the fault vanish.
+	TestHookWorkerFault = func(worker int) {
+		panic("injected fault")
+	}
+	defer func() { TestHookWorkerFault = nil }()
+
+	m := matching.New(g.NX(), g.NY())
+	_, err := RunCtx(context.Background(), g, m, FullOptions(4))
+	var pe *par.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err=%v, want *par.PanicError", err)
+	}
+	if pe.Value != "injected fault" || len(pe.Stack) == 0 {
+		t.Fatalf("panic not captured: %+v", pe)
+	}
+	if IsCancellation(err) {
+		t.Fatal("a worker panic must not classify as cancellation")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run must re-raise a contained worker panic")
+		}
+	}()
+	Run(g, matching.New(g.NX(), g.NY()), FullOptions(4))
+}
+
+// TestRunCtxDeadline: a context deadline in the past behaves like
+// cancellation.
+func TestRunCtxDeadline(t *testing.T) {
+	g := gen.ER(100, 100, 400, 2)
+	m := matching.New(g.NX(), g.NY())
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	stats, err := RunCtx(ctx, g, m, FullOptions(2))
+	if !errors.Is(err, context.DeadlineExceeded) || stats.Complete {
+		t.Fatalf("err=%v complete=%v, want DeadlineExceeded+incomplete", err, stats.Complete)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"time"
 
@@ -18,6 +20,12 @@ const none = matching.None
 // production code must leave it nil.
 var phaseHook func(*engine)
 
+// TestHookWorkerFault, when non-nil, is invoked by every parallel top-down
+// worker at the start of each block it claims. It exists solely so tests can
+// inject worker panics and exercise the containment path end to end
+// (par → engine → facade); production code must leave it nil.
+var TestHookWorkerFault func(worker int)
+
 // engine holds the per-run state of Algorithm 3. Array roles follow §III-B:
 // visited/parent only on Y (a matched X vertex is reached via its unique
 // mate), root on both parts, leaf indexed by tree root (an X vertex).
@@ -25,6 +33,13 @@ type engine struct {
 	g    *bipartite.Graph
 	m    *matching.Matching
 	opts Options
+
+	// ctx is the run's cancellation context, polled at phase boundaries by
+	// the driver and at block granularity inside parallel regions; err
+	// latches the first failure (context error or contained worker panic)
+	// and is only touched by the driver goroutine.
+	ctx context.Context
+	err error
 
 	visited []int32        // Y: 0 unvisited, 1 claimed by a tree this phase
 	bits    *bitmap.Bitmap // Y: bit-vector alternative to visited (VisitedBitmap)
@@ -70,14 +85,37 @@ type engine struct {
 // Run executes the configured algorithm on g, updating m in place to a
 // matching whose cardinality is maximum, and returns run statistics. The
 // input matching must be valid (typically Karp–Sipser initialized); an
-// empty matching is fine.
+// empty matching is fine. A contained worker panic is re-raised in the
+// caller; use RunCtx to receive it as an error instead.
 func Run(g *bipartite.Graph, m *matching.Matching, opts Options) *matching.Stats {
+	stats, err := RunCtx(context.Background(), g, m, opts)
+	if err != nil {
+		// Background is never cancelled, so the only possible error is a
+		// contained worker panic; preserve Run's panicking contract.
+		panic(err)
+	}
+	return stats
+}
+
+// RunCtx is Run under a cancellation context. The context is checked at
+// phase boundaries by the driver and at block granularity inside every
+// parallel region; on expiry the engine stops cleanly and m holds a valid
+// partial matching that contains everything matched at the last phase
+// boundary (matched vertices never become unmatched — paper Theorem 1's
+// monotonicity), ready to be finished by a later run. The returned stats
+// have Complete=false and err is the context's error. A contained worker
+// panic is returned as a *par.PanicError.
+func RunCtx(ctx context.Context, g *bipartite.Graph, m *matching.Matching, opts Options) (*matching.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.Defaults()
 	nx, ny := int(g.NX()), int(g.NY())
 	e := &engine{
 		g:          g,
 		m:          m,
 		opts:       opts,
+		ctx:        ctx,
 		parentY:    make([]int32, ny),
 		rootX:      make([]int32, nx),
 		rootY:      make([]int32, ny),
@@ -108,7 +146,51 @@ func Run(g *bipartite.Graph, m *matching.Matching, opts Options) *matching.Stats
 	e.run()
 	e.stats.Runtime = time.Since(start)
 	e.stats.FinalCardinality = m.Cardinality()
-	return e.stats
+	e.stats.Complete = e.err == nil
+	return e.stats, e.err
+}
+
+// pfor runs a statically scheduled cancellation-aware parallel region,
+// latching the first failure; it reports whether the run may continue.
+func (e *engine) pfor(n int, body func(worker, lo, hi int)) bool {
+	if e.err != nil {
+		return false
+	}
+	if err := par.ForCtx(e.ctx, e.opts.Threads, n, body); err != nil {
+		e.err = err
+		return false
+	}
+	return true
+}
+
+// pforDyn is pfor with dynamic chunk self-scheduling.
+func (e *engine) pforDyn(n, grain int, body func(worker, lo, hi int)) bool {
+	if e.err != nil {
+		return false
+	}
+	if err := par.ForDynamicCtx(e.ctx, e.opts.Threads, n, grain, body); err != nil {
+		e.err = err
+		return false
+	}
+	return true
+}
+
+// stopped is the phase-boundary cancellation check.
+func (e *engine) stopped() bool {
+	if e.err != nil {
+		return true
+	}
+	if err := e.ctx.Err(); err != nil {
+		e.err = err
+		return true
+	}
+	return false
+}
+
+// IsCancellation reports whether an engine error is a clean context stop
+// (as opposed to a contained worker panic).
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 func algorithmName(o Options) string {
@@ -125,31 +207,36 @@ func algorithmName(o Options) string {
 }
 
 func (e *engine) run() {
-	p := e.opts.Threads
 	nx, ny := int(e.g.NX()), int(e.g.NY())
 
-	par.For(p, ny, func(_, lo, hi int) {
+	if !e.pfor(ny, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e.visitedClear(int32(i))
 			e.rootY[i] = none
 			e.parentY[i] = none
 		}
-	})
-	par.For(p, nx, func(_, lo, hi int) {
+	}) {
+		return
+	}
+	if !e.pfor(nx, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e.rootX[i] = none
 			e.leaf[i] = none
 		}
-	})
+	}) {
+		return
+	}
 	e.unvisitedY = int64(ny)
 	e.unvisitedYEdges = int64(len(e.g.YNbr()))
 	e.seedFrontierFromUnmatched()
 
-	for {
+	for e.err == nil {
 		var trace []int64
 
-		// Step 1: grow the alternating BFS forest level by level.
-		for e.cur.Len() > 0 {
+		// Step 1: grow the alternating BFS forest level by level. An
+		// interrupted forest is simply abandoned: these steps never touch
+		// the mate arrays, so the matching stays as the last phase left it.
+		for e.cur.Len() > 0 && e.err == nil {
 			if e.opts.TraceFrontiers {
 				trace = append(trace, int64(e.cur.Len()))
 			}
@@ -170,6 +257,9 @@ func (e *engine) run() {
 			}
 			e.finishLevel()
 		}
+		if e.err != nil {
+			return
+		}
 		if e.opts.TraceFrontiers {
 			e.stats.FrontierTrace = append(e.stats.FrontierTrace, trace)
 		}
@@ -178,14 +268,25 @@ func (e *engine) run() {
 			phaseHook(e)
 		}
 
-		// Step 2: augment along the discovered vertex-disjoint paths.
+		// Step 2: augment along the discovered vertex-disjoint paths. Each
+		// path flips inside one block, so an interrupted augment leaves a
+		// valid matching containing every fully flipped path.
 		t := time.Now()
 		augmented := e.augment()
 		e.stats.AddStep(matching.StepAugment, time.Since(t))
+		if e.err != nil {
+			return
+		}
 
 		e.stats.Phases++
+		if e.opts.OnPhase != nil {
+			e.opts.OnPhase(e.stats.Phases, e.m.Cardinality())
+		}
 		if augmented == 0 {
 			return
+		}
+		if e.stopped() {
+			return // phase boundary: the preferred cancellation point
 		}
 
 		// Step 3: build the next phase's frontier (graft or rebuild).
@@ -198,7 +299,7 @@ func (e *engine) run() {
 func (e *engine) seedFrontierFromUnmatched() {
 	e.cur.Reset()
 	mateX := e.m.MateX
-	par.For(e.opts.Threads, len(mateX), func(w, lo, hi int) {
+	e.pfor(len(mateX), func(w, lo, hi int) {
 		l := &e.locals[w]
 		l.Rebind(e.cur)
 		for i := lo; i < hi; i++ {
@@ -245,7 +346,10 @@ func (e *engine) topDown() {
 	}
 	f := e.cur.Slice()
 	mateY := e.m.MateY
-	par.ForDynamic(e.opts.Threads, len(f), 64, func(w int, lo, hi int) {
+	e.pforDyn(len(f), 64, func(w int, lo, hi int) {
+		if TestHookWorkerFault != nil {
+			TestHookWorkerFault(w)
+		}
 		l := &e.locals[w]
 		var edges, claims, claimedDeg int64
 		for i := lo; i < hi; i++ {
@@ -324,7 +428,7 @@ func (e *engine) topDownSerial() {
 // buffer — the set R scanned by a regular bottom-up step.
 func (e *engine) collectUnvisitedY() []int32 {
 	e.unvisQ.Reset()
-	par.For(e.opts.Threads, len(e.rootY), func(w, lo, hi int) {
+	e.pfor(len(e.rootY), func(w, lo, hi int) {
 		var buf [256]int32
 		n := 0
 		for y := lo; y < hi; y++ {
@@ -352,7 +456,7 @@ func (e *engine) bottomUp(r []int32) {
 		return
 	}
 	mateY := e.m.MateY
-	par.ForDynamic(e.opts.Threads, len(r), 64, func(w int, lo, hi int) {
+	e.pforDyn(len(r), 64, func(w int, lo, hi int) {
 		l := &e.locals[w]
 		var edges, claims, claimedDeg int64
 		for i := lo; i < hi; i++ {
@@ -440,7 +544,7 @@ func (e *engine) augment() int64 {
 	mateX, mateY := e.m.MateX, e.m.MateY
 	paths := par.NewCounter(e.opts.Threads)
 	lens := par.NewCounter(e.opts.Threads)
-	par.ForDynamic(e.opts.Threads, len(mateX), 512, func(w int, lo, hi int) {
+	e.pforDyn(len(mateX), 512, func(w int, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			x0 := int32(i)
 			if mateX[x0] != none || e.rootX[x0] != x0 {
@@ -484,7 +588,7 @@ func (e *engine) graftStep() {
 	e.activeX.Reset()
 	e.activeY.Reset()
 	e.renewY.Reset()
-	par.For(p, len(e.rootX), func(w, lo, hi int) {
+	if !e.pfor(len(e.rootX), func(w, lo, hi int) {
 		l := &e.locals[w]
 		l.Rebind(e.activeX)
 		for i := lo; i < hi; i++ {
@@ -494,8 +598,10 @@ func (e *engine) graftStep() {
 		}
 		l.Flush()
 		l.Rebind(e.next)
-	})
-	par.For(p, len(e.rootY), func(w, lo, hi int) {
+	}) {
+		return
+	}
+	if !e.pfor(len(e.rootY), func(w, lo, hi int) {
 		var act, ren [256]int32
 		na, nr := 0, 0
 		for i := lo; i < hi; i++ {
@@ -521,14 +627,16 @@ func (e *engine) graftStep() {
 		}
 		e.activeY.PushBlock(act[:na])
 		e.renewY.PushBlock(ren[:nr])
-	})
+	}) {
+		return
+	}
 	e.stats.AddStep(matching.StepStatistics, time.Since(t))
 
 	// Reset renewable Y state so those vertices can be reused (lines 6–7).
 	t = time.Now()
 	renewable := e.renewY.Slice()
 	renewDeg := par.NewCounter(p)
-	par.For(p, len(renewable), func(w, lo, hi int) {
+	if !e.pfor(len(renewable), func(w, lo, hi int) {
 		var deg int64
 		for i := lo; i < hi; i++ {
 			y := renewable[i]
@@ -538,7 +646,9 @@ func (e *engine) graftStep() {
 			deg += e.g.DegY(y)
 		}
 		renewDeg.Add(w, deg)
-	})
+	}) {
+		return
+	}
 	e.unvisitedY += int64(len(renewable))
 	e.unvisitedYEdges += renewDeg.Sum()
 
@@ -546,6 +656,9 @@ func (e *engine) graftStep() {
 		// Graft renewable Y vertices onto active trees (line 9).
 		e.next.Reset()
 		e.bottomUp(renewable)
+		if e.err != nil {
+			return
+		}
 		e.finishLevel()
 		e.stats.Grafts++
 		e.stats.AddStep(matching.StepGraft, time.Since(t))
@@ -556,7 +669,7 @@ func (e *engine) graftStep() {
 	// restart from the unmatched X vertices.
 	active := e.activeY.Slice()
 	activeDeg := par.NewCounter(p)
-	par.For(p, len(active), func(w, lo, hi int) {
+	if !e.pfor(len(active), func(w, lo, hi int) {
 		var deg int64
 		for i := lo; i < hi; i++ {
 			y := active[i]
@@ -566,15 +679,19 @@ func (e *engine) graftStep() {
 			deg += e.g.DegY(y)
 		}
 		activeDeg.Add(w, deg)
-	})
+	}) {
+		return
+	}
 	e.unvisitedY += int64(len(active))
 	e.unvisitedYEdges += activeDeg.Sum()
 	ax := e.activeX.Slice()
-	par.For(p, len(ax), func(_, lo, hi int) {
+	if !e.pfor(len(ax), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e.rootX[ax[i]] = none
 		}
-	})
+	}) {
+		return
+	}
 	e.seedFrontierFromUnmatched()
 	e.stats.Rebuilds++
 	e.stats.AddStep(matching.StepGraft, time.Since(t))

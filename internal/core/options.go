@@ -51,6 +51,13 @@ type Options struct {
 	// 32x less memory traffic, more word-level contention. Results are
 	// identical; see BenchmarkAblationVisited for the trade-off.
 	VisitedBitmap bool
+
+	// OnPhase, when non-nil, is invoked on the driver goroutine after every
+	// completed phase (a consistent point: no parallel region is active and
+	// the mate arrays form a valid matching) with the phase count and the
+	// current cardinality. Cancelling a RunCtx context from the hook stops
+	// the engine at this phase boundary.
+	OnPhase func(phase, cardinality int64)
 }
 
 // Defaults fills unset fields with the paper's defaults and returns the

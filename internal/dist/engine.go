@@ -23,6 +23,12 @@ type Options struct {
 	// Workers caps the goroutines driving rank supersteps; 0 means
 	// GOMAXPROCS. Purely an execution detail of the simulation.
 	Workers int
+
+	// Faults, when non-nil, injects deterministic seeded network faults
+	// (drops, duplicates, stalls) recovered by the retransmit/ack
+	// transport; see Faults. The computed matching, superstep count, and
+	// logical message count are identical to a fault-free run.
+	Faults *Faults
 }
 
 // Stats extends the common matching statistics with the distributed cost
@@ -31,7 +37,11 @@ type Stats struct {
 	*matching.Stats
 	Ranks      int
 	Supersteps int64
-	Messages   int64
+	Messages   int64 // logical point-to-point messages (retransmits excluded)
+
+	// Faults reports injected-fault and recovery counters; nil unless
+	// Options.Faults enabled injection.
+	Faults *FaultStats
 }
 
 // message kinds exchanged between ranks.
@@ -97,6 +107,7 @@ type Engine struct {
 	opts Options
 
 	ranks []*rank
+	tr    *transport // nil: the network is reliable
 
 	stats Stats
 }
@@ -136,6 +147,10 @@ func New(g *bipartite.Graph, opts Options) *Engine {
 		}
 		e.ranks[i] = r
 	}
+	if opts.Faults != nil {
+		e.stats.Faults = &FaultStats{}
+		e.tr = newTransport(*opts.Faults, e.stats.Faults)
+	}
 	return e
 }
 
@@ -155,6 +170,7 @@ func Run(g *bipartite.Graph, m *matching.Matching, opts Options) Stats {
 	e.gather(m)
 	e.stats.Runtime = time.Since(start)
 	e.stats.FinalCardinality = m.Cardinality()
+	e.stats.Complete = true
 	return e.stats
 }
 
@@ -198,13 +214,33 @@ func (e *Engine) eachRank(body func(*rank)) {
 
 // exchange delivers all outboxes: rank d's inbox becomes the concatenation
 // of out[s][d] in source order (a deterministic alltoallv), and the
-// replicated renewable bitmap absorbs every rank's newRenewable roots.
+// replicated renewable bitmap absorbs every rank's newRenewable roots (a
+// collective, always on the reliable channel). Under fault injection the
+// point-to-point deliveries route through the retransmit/ack transport,
+// which reassembles each inbox in the exact same order.
 func (e *Engine) exchange() {
 	e.stats.Supersteps++
 	var allNew []int32
 	for _, r := range e.ranks {
 		allNew = append(allNew, r.newRenewable...)
 		r.newRenewable = r.newRenewable[:0]
+	}
+	var msgs int64
+	for _, s := range e.ranks {
+		for dst := range s.out {
+			msgs += int64(len(s.out[dst]))
+		}
+	}
+	e.stats.Messages += msgs + int64(len(allNew)*(e.part.K-1))
+
+	if e.tr != nil {
+		e.tr.deliver(e.ranks) // fills every inbox, clears every outbox
+		e.eachRank(func(d *rank) {
+			for _, root := range allNew {
+				d.renewable[root] = true
+			}
+		})
+		return
 	}
 	e.eachRank(func(d *rank) {
 		d.in = d.in[:0]
@@ -215,14 +251,11 @@ func (e *Engine) exchange() {
 			d.renewable[root] = true
 		}
 	})
-	var msgs int64
 	for _, s := range e.ranks {
 		for dst := range s.out {
-			msgs += int64(len(s.out[dst]))
 			s.out[dst] = s.out[dst][:0]
 		}
 	}
-	e.stats.Messages += msgs + int64(len(allNew)*(e.part.K-1))
 }
 
 func (e *Engine) run() {

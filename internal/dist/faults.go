@@ -1,0 +1,205 @@
+package dist
+
+import "math/rand"
+
+// Faults configures deterministic fault injection on the simulated network.
+// Point-to-point messages may be dropped, duplicated, or delayed by rank
+// stalls; the transport recovers with a retransmit/ack protocol (bounded
+// exponential backoff, receiver-side deduplication) and escalates to a
+// reliable channel after MaxRetries transmissions per message or
+// TimeoutRounds delivery rounds per superstep. Collectives (the renewable
+// bitmap allreduce and the frontier-emptiness check) always use the
+// reliable channel, as MPI collectives would.
+//
+// All randomness is drawn from a single seeded source on the exchange
+// driver goroutine, so a given (graph, options, Seed) triple replays the
+// exact same fault schedule regardless of Workers — and because recovered
+// inboxes are reassembled in (source rank, sequence) order, a faulty run
+// computes bit-identical mate arrays, supersteps, and logical message
+// counts to a fault-free run.
+type Faults struct {
+	// Seed drives the fault schedule; runs with equal seeds are identical.
+	Seed int64
+
+	// Drop is the probability that one transmission of a message — or of
+	// its acknowledgement — is lost in flight.
+	Drop float64
+
+	// Duplicate is the probability that a delivered message arrives twice;
+	// the receiver deduplicates by (source, sequence number).
+	Duplicate float64
+
+	// Stall is the per-round probability that a rank stalls, transmitting
+	// nothing for that delivery round.
+	Stall float64
+
+	// MaxRetries bounds the unreliable transmissions per message before the
+	// transport escalates it to the reliable channel; 0 means 8.
+	MaxRetries int
+
+	// TimeoutRounds bounds the delivery rounds per superstep before every
+	// undelivered message escalates at once (a superstep timeout);
+	// 0 means 64.
+	TimeoutRounds int
+}
+
+func (f Faults) withDefaults() Faults {
+	if f.MaxRetries <= 0 {
+		f.MaxRetries = 8
+	}
+	if f.TimeoutRounds <= 0 {
+		f.TimeoutRounds = 64
+	}
+	return f
+}
+
+// maxBackoff caps the exponential retransmit backoff, in delivery rounds.
+const maxBackoff = 16
+
+// FaultStats counts the injected faults and the recovery work they caused.
+type FaultStats struct {
+	// Dropped and AcksLost count lost transmissions of messages and of
+	// their acknowledgements; Duplicated counts duplicate deliveries
+	// absorbed by receiver-side dedup.
+	Dropped    int64
+	AcksLost   int64
+	Duplicated int64
+
+	// Stalls counts rank-rounds in which a rank transmitted nothing.
+	Stalls int64
+
+	// Retransmits counts second-and-later transmissions of a message.
+	Retransmits int64
+
+	// Escalated counts messages force-delivered over the reliable channel
+	// after MaxRetries; Timeouts counts supersteps that hit TimeoutRounds
+	// and escalated wholesale.
+	Escalated int64
+	Timeouts  int64
+
+	// DeliveryRounds is the total extra network rounds spent recovering
+	// (1 per superstep is the fault-free minimum).
+	DeliveryRounds int64
+}
+
+// transport is the unreliable network simulation behind Engine.exchange.
+type transport struct {
+	faults Faults
+	rng    *rand.Rand
+	fstats *FaultStats
+}
+
+func newTransport(f Faults, fs *FaultStats) *transport {
+	f = f.withDefaults()
+	return &transport{faults: f, rng: rand.New(rand.NewSource(f.Seed)), fstats: fs}
+}
+
+// pendMsg is one in-flight message awaiting acknowledgement.
+type pendMsg struct {
+	src, dst int
+	seq      int32
+	msg      message
+	attempts int
+	wait     int // rounds until the next transmission attempt
+	backoff  int // current backoff, doubling up to maxBackoff
+	acked    bool
+}
+
+type recvKey struct {
+	src int
+	seq int32
+}
+
+// deliver plays every outbox through the faulty network until all messages
+// are acknowledged, then reassembles each inbox in (source rank, sequence)
+// order — exactly the fault-free concatenation order — and clears the
+// outboxes. Runs single-threaded on the exchange driver.
+func (t *transport) deliver(ranks []*rank) {
+	var pending []*pendMsg
+	for _, s := range ranks {
+		for dst := range s.out {
+			for i, m := range s.out[dst] {
+				pending = append(pending, &pendMsg{src: s.id, dst: dst, seq: int32(i), msg: m, backoff: 1})
+			}
+		}
+	}
+	K := len(ranks)
+	recv := make([]map[recvKey]message, K)
+	for i := range recv {
+		recv[i] = make(map[recvKey]message)
+	}
+
+	stalled := make([]bool, K)
+	remaining := len(pending)
+	for round := 1; remaining > 0; round++ {
+		t.fstats.DeliveryRounds++
+		escalate := round > t.faults.TimeoutRounds
+		if escalate && round == t.faults.TimeoutRounds+1 {
+			t.fstats.Timeouts++
+		}
+		for i := range stalled {
+			stalled[i] = !escalate && t.rng.Float64() < t.faults.Stall
+			if stalled[i] {
+				t.fstats.Stalls++
+			}
+		}
+		for _, p := range pending {
+			if p.acked {
+				continue
+			}
+			if !escalate {
+				if stalled[p.src] {
+					continue
+				}
+				if p.wait > 0 {
+					p.wait--
+					continue
+				}
+			}
+			p.attempts++
+			if p.attempts > 1 {
+				t.fstats.Retransmits++
+			}
+			reliable := escalate || p.attempts > t.faults.MaxRetries
+			if reliable && !escalate {
+				t.fstats.Escalated++
+			}
+			if !reliable && t.rng.Float64() < t.faults.Drop {
+				t.fstats.Dropped++
+				p.wait, p.backoff = p.backoff, min(p.backoff*2, maxBackoff)
+				continue
+			}
+			k := recvKey{p.src, p.seq}
+			if _, seen := recv[p.dst][k]; !seen {
+				recv[p.dst][k] = p.msg
+			}
+			if !reliable && t.rng.Float64() < t.faults.Duplicate {
+				t.fstats.Duplicated++ // second copy absorbed by dedup
+			}
+			if !reliable && t.rng.Float64() < t.faults.Drop {
+				// The ack is lost: the sender retransmits a message the
+				// receiver already has; dedup makes that harmless.
+				t.fstats.AcksLost++
+				p.wait, p.backoff = p.backoff, min(p.backoff*2, maxBackoff)
+				continue
+			}
+			p.acked = true
+			remaining--
+		}
+	}
+
+	for _, d := range ranks {
+		d.in = d.in[:0]
+		for src := 0; src < K; src++ {
+			n := len(ranks[src].out[d.id])
+			for seq := int32(0); seq < int32(n); seq++ {
+				d.in = append(d.in, recv[d.id][recvKey{src, seq}])
+			}
+		}
+	}
+	for _, s := range ranks {
+		for dst := range s.out {
+			s.out[dst] = s.out[dst][:0]
+		}
+	}
+}

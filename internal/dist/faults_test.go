@@ -1,0 +1,137 @@
+package dist
+
+import (
+	"testing"
+
+	"graftmatch/internal/gen"
+	"graftmatch/internal/hk"
+	"graftmatch/internal/matching"
+	"graftmatch/internal/matchinit"
+)
+
+// TestFaultyRunMatchesReliable: the retransmit/ack transport must make a
+// faulty network indistinguishable from a reliable one — identical mate
+// arrays, supersteps, and logical message counts — across the whole suite
+// and a spread of fault intensities.
+func TestFaultyRunMatchesReliable(t *testing.T) {
+	faultSets := []Faults{
+		{Seed: 1, Drop: 0.2},
+		{Seed: 2, Drop: 0.3, Duplicate: 0.3},
+		{Seed: 3, Drop: 0.2, Duplicate: 0.1, Stall: 0.2},
+		{Seed: 4, Stall: 0.5},
+	}
+	for name, g := range distSuite() {
+		base := matchinit.Greedy(g)
+		ref := Run(g, base.Clone(), Options{Ranks: 4, Grafting: true})
+		for _, f := range faultSets {
+			f := f
+			m := base.Clone()
+			s := Run(g, m, Options{Ranks: 4, Grafting: true, Faults: &f})
+			if err := matching.VerifyMaximum(g, m); err != nil {
+				t.Fatalf("%s faults=%+v: %v", name, f, err)
+			}
+			if s.FinalCardinality != ref.FinalCardinality {
+				t.Fatalf("%s faults=%+v: cardinality %d, want %d", name, f, s.FinalCardinality, ref.FinalCardinality)
+			}
+			if s.Supersteps != ref.Supersteps || s.Messages != ref.Messages {
+				t.Fatalf("%s faults=%+v: cost model diverged: supersteps %d vs %d, messages %d vs %d",
+					name, f, s.Supersteps, ref.Supersteps, s.Messages, ref.Messages)
+			}
+			if !s.Complete {
+				t.Fatalf("%s: faulty run not marked complete", name)
+			}
+		}
+	}
+}
+
+// TestFaultyMatesIdentical: beyond matching cardinality, the recovered
+// inbox order must reproduce the exact mate arrays of the reliable run.
+func TestFaultyMatesIdentical(t *testing.T) {
+	g := gen.ER(300, 300, 1200, 7)
+	a := matchinit.Greedy(g)
+	b := a.Clone()
+	Run(g, a, Options{Ranks: 4, Grafting: true})
+	Run(g, b, Options{Ranks: 4, Grafting: true, Faults: &Faults{Seed: 11, Drop: 0.25, Duplicate: 0.2, Stall: 0.1}})
+	for i := range a.MateX {
+		if a.MateX[i] != b.MateX[i] {
+			t.Fatalf("mateX[%d]: %d (reliable) vs %d (faulty)", i, a.MateX[i], b.MateX[i])
+		}
+	}
+	for i := range a.MateY {
+		if a.MateY[i] != b.MateY[i] {
+			t.Fatalf("mateY[%d]: %d (reliable) vs %d (faulty)", i, a.MateY[i], b.MateY[i])
+		}
+	}
+}
+
+// TestFaultScheduleDeterministic: equal seeds must replay the identical
+// fault schedule regardless of the worker count driving the supersteps.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	g := gen.WebLike(9, 5, 0.35, 2)
+	f := Faults{Seed: 42, Drop: 0.3, Duplicate: 0.2, Stall: 0.15}
+	run := func(workers int) (*matching.Matching, *FaultStats) {
+		fc := f
+		m := matchinit.Greedy(g)
+		s := Run(g, m, Options{Ranks: 4, Grafting: true, Workers: workers, Faults: &fc})
+		return m, s.Faults
+	}
+	m1, fs1 := run(1)
+	m8, fs8 := run(8)
+	if *fs1 != *fs8 {
+		t.Fatalf("fault schedule depends on workers:\n1: %+v\n8: %+v", *fs1, *fs8)
+	}
+	for i := range m1.MateX {
+		if m1.MateX[i] != m8.MateX[i] {
+			t.Fatal("faulty run not deterministic across workers")
+		}
+	}
+	if fs1.Dropped == 0 || fs1.Duplicated == 0 || fs1.Stalls == 0 || fs1.Retransmits == 0 {
+		t.Fatalf("fault counters flat — injection not exercised: %+v", *fs1)
+	}
+}
+
+// TestTotalDropConverges: Drop=1 loses every unreliable transmission, so
+// every message must ride the MaxRetries escalation path — and the run must
+// still reach a maximum matching.
+func TestTotalDropConverges(t *testing.T) {
+	g := gen.ER(120, 120, 500, 3)
+	ref := matching.New(g.NX(), g.NY())
+	hk.Run(g, ref)
+	m := matchinit.Greedy(g)
+	s := Run(g, m, Options{Ranks: 4, Grafting: true, Faults: &Faults{Seed: 5, Drop: 1.0, MaxRetries: 3}})
+	if err := matching.VerifyMaximum(g, m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cardinality() != ref.Cardinality() {
+		t.Fatalf("cardinality %d, want %d", m.Cardinality(), ref.Cardinality())
+	}
+	if s.Faults.Escalated == 0 {
+		t.Fatalf("expected escalations under total drop: %+v", *s.Faults)
+	}
+}
+
+// TestSuperstepTimeoutEscalation: a tiny TimeoutRounds with heavy drops
+// forces whole-superstep escalations; convergence must survive them.
+func TestSuperstepTimeoutEscalation(t *testing.T) {
+	g := gen.ER(120, 120, 500, 9)
+	m := matchinit.Greedy(g)
+	s := Run(g, m, Options{Ranks: 4, Grafting: true,
+		Faults: &Faults{Seed: 6, Drop: 0.9, MaxRetries: 50, TimeoutRounds: 2}})
+	if err := matching.VerifyMaximum(g, m); err != nil {
+		t.Fatal(err)
+	}
+	if s.Faults.Timeouts == 0 {
+		t.Fatalf("expected superstep timeouts: %+v", *s.Faults)
+	}
+}
+
+// TestReliableRunHasNoFaultStats: without injection the transport is
+// bypassed entirely.
+func TestReliableRunHasNoFaultStats(t *testing.T) {
+	g := gen.ER(50, 50, 200, 1)
+	m := matchinit.Greedy(g)
+	s := Run(g, m, Options{Ranks: 2})
+	if s.Faults != nil {
+		t.Fatalf("fault stats on a reliable run: %+v", *s.Faults)
+	}
+}

@@ -94,10 +94,18 @@ func (m *Matching) UnmatchedX(dst []int32) []int32 {
 }
 
 // Verify checks that m is a valid matching of g: mate arrays are mutually
-// consistent, in range, and every matched pair is an edge of g.
+// consistent, in range, and every matched pair is an edge of g. It reports
+// malformed input (nil graph or matching, mismatched mate-array lengths) as
+// a descriptive error rather than panicking.
 func (m *Matching) Verify(g *bipartite.Graph) error {
+	if m == nil {
+		return fmt.Errorf("matching: nil matching")
+	}
+	if g == nil {
+		return fmt.Errorf("matching: nil graph")
+	}
 	if int32(len(m.MateX)) != g.NX() || int32(len(m.MateY)) != g.NY() {
-		return fmt.Errorf("matching: size mismatch: mates (%d,%d), graph (%d,%d)",
+		return fmt.Errorf("matching: mate array lengths (%d,%d) do not match graph dimensions (%d,%d); were the mates computed on a different graph?",
 			len(m.MateX), len(m.MateY), g.NX(), g.NY())
 	}
 	for x := int32(0); x < g.NX(); x++ {

@@ -84,6 +84,12 @@ type Stats struct {
 	// initialization unless stated).
 	Runtime time.Duration
 
+	// Complete reports whether the run reached a maximum matching. It is
+	// false when a context-aware engine stopped early at a phase boundary
+	// (cancellation or deadline), in which case the mate arrays hold the
+	// valid partial matching of the last consistent state.
+	Complete bool
+
 	Threads int
 }
 

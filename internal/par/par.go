@@ -28,6 +28,11 @@ func clampWorkers(p int) int {
 // statically scheduled (contiguous, near-equal), matching the level-
 // synchronous structure of the algorithms where per-element work is small
 // and uniform enough that dynamic scheduling overhead is not repaid.
+//
+// A worker panic is contained: the remaining workers are drained (workers
+// that have not started yet are skipped) and the first panic is re-raised in
+// the caller's goroutine as a *PanicError, never crashing the process from
+// an unrecoverable goroutine. Use ForCtx to receive it as an error instead.
 func For(p int, n int, body func(worker, lo, hi int)) {
 	p = clampWorkers(p)
 	if n <= 0 {
@@ -40,6 +45,7 @@ func For(p int, n int, body func(worker, lo, hi int)) {
 	if p > n {
 		p = n
 	}
+	g := newGate(nil)
 	var wg sync.WaitGroup
 	wg.Add(p)
 	chunk := n / p
@@ -52,17 +58,24 @@ func For(p int, n int, body func(worker, lo, hi int)) {
 		}
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			body(w, lo, hi)
+			defer g.guard()
+			if !g.stop.Load() {
+				body(w, lo, hi)
+			}
 		}(w, lo, hi)
 		lo = hi
 	}
 	wg.Wait()
+	if err := g.err(); err != nil {
+		panic(err)
+	}
 }
 
 // ForDynamic runs body over [0, n) with dynamic chunk self-scheduling:
 // workers repeatedly claim the next `grain`-sized block from a shared atomic
 // cursor. Use when per-element cost is skewed (e.g. scanning vertices with
-// power-law degrees).
+// power-law degrees). Worker panics are contained and re-raised in the
+// caller as with For; sibling workers stop claiming chunks after a panic.
 func ForDynamic(p int, n int, grain int, body func(worker, lo, hi int)) {
 	p = clampWorkers(p)
 	if n <= 0 {
@@ -75,13 +88,15 @@ func ForDynamic(p int, n int, grain int, body func(worker, lo, hi int)) {
 		body(0, 0, n)
 		return
 	}
+	g := newGate(nil)
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for w := 0; w < p; w++ {
 		go func(w int) {
 			defer wg.Done()
-			for {
+			defer g.guard()
+			for !g.stop.Load() {
 				lo := cursor.Add(int64(grain)) - int64(grain)
 				if lo >= int64(n) {
 					return
@@ -95,24 +110,33 @@ func ForDynamic(p int, n int, grain int, body func(worker, lo, hi int)) {
 		}(w)
 	}
 	wg.Wait()
+	if err := g.err(); err != nil {
+		panic(err)
+	}
 }
 
 // Run launches p workers executing body(worker) and waits for all of them.
+// Worker panics are contained and re-raised in the caller as with For.
 func Run(p int, body func(worker int)) {
 	p = clampWorkers(p)
 	if p == 1 {
 		body(0)
 		return
 	}
+	g := newGate(nil)
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for w := 0; w < p; w++ {
 		go func(w int) {
 			defer wg.Done()
+			defer g.guard()
 			body(w)
 		}(w)
 	}
 	wg.Wait()
+	if err := g.err(); err != nil {
+		panic(err)
+	}
 }
 
 // cacheLine is the assumed cache line size for padding.

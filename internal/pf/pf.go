@@ -12,6 +12,7 @@
 package pf
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
@@ -22,9 +23,39 @@ import (
 
 const none = matching.None
 
+// Options configures a context-aware PF run.
+type Options struct {
+	// Threads is the worker count; 0 means GOMAXPROCS.
+	Threads int
+
+	// OnPhase, when non-nil, is invoked on the driver goroutine after every
+	// completed phase (a consistent point: the mate arrays form a valid
+	// matching) with the phase count and the current cardinality.
+	OnPhase func(phase, cardinality int64)
+}
+
 // Run computes a maximum cardinality matching with the fair Pothen–Fan
-// algorithm using p workers, updating m in place.
+// algorithm using p workers, updating m in place. A contained worker panic
+// is re-raised in the caller; use RunCtx to receive it as an error instead.
 func Run(g *bipartite.Graph, m *matching.Matching, p int) *matching.Stats {
+	stats, err := RunCtx(context.Background(), g, m, Options{Threads: p})
+	if err != nil {
+		panic(err) // Background is never cancelled: err is a worker panic
+	}
+	return stats
+}
+
+// RunCtx is Run under a cancellation context, checked at phase boundaries
+// and at search granularity inside each phase. Every DFS that finds an
+// augmenting path applies it atomically within its own block, so an
+// interrupted phase leaves a valid matching that contains every search that
+// completed; the returned stats then have Complete=false and err is the
+// context's error. A contained worker panic is returned as *par.PanicError.
+func RunCtx(ctx context.Context, g *bipartite.Graph, m *matching.Matching, opts Options) (*matching.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := opts.Threads
 	if p <= 0 {
 		p = par.DefaultWorkers()
 	}
@@ -47,8 +78,12 @@ func Run(g *bipartite.Graph, m *matching.Matching, p int) *matching.Stats {
 		workers[w].init(nx)
 	}
 
+	var err error
 	fair := false
 	for {
+		if err = ctx.Err(); err != nil {
+			break // phase boundary: the matching is consistent here
+		}
 		roots = roots[:0]
 		for x := int32(0); x < int32(nx); x++ {
 			if m.MateX[x] == none {
@@ -58,14 +93,16 @@ func Run(g *bipartite.Graph, m *matching.Matching, p int) *matching.Stats {
 		if len(roots) == 0 {
 			break
 		}
-		par.For(p, ny, func(_, lo, hi int) {
+		if err = par.ForCtx(ctx, p, ny, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				visited[i] = 0
 			}
-		})
+		}); err != nil {
+			break
+		}
 
 		before := paths.Sum()
-		par.ForDynamic(p, len(roots), 1, func(w int, lo, hi int) {
+		if err = par.ForDynamicCtx(ctx, p, len(roots), 1, func(w int, lo, hi int) {
 			st := &workers[w]
 			for i := lo; i < hi; i++ {
 				if n := st.search(g, m, roots[i], visited, lookahead, fair); n > 0 {
@@ -75,8 +112,13 @@ func Run(g *bipartite.Graph, m *matching.Matching, p int) *matching.Stats {
 			}
 			edges.Add(w, st.edges)
 			st.edges = 0
-		})
+		}); err != nil {
+			break
+		}
 		stats.Phases++
+		if opts.OnPhase != nil {
+			opts.OnPhase(stats.Phases, m.Cardinality())
+		}
 		fair = !fair
 		if paths.Sum() == before {
 			break
@@ -88,7 +130,8 @@ func Run(g *bipartite.Graph, m *matching.Matching, p int) *matching.Stats {
 	stats.AugPathLen = lens.Sum()
 	stats.Runtime = time.Since(start)
 	stats.FinalCardinality = m.Cardinality()
-	return stats
+	stats.Complete = err == nil
+	return stats, err
 }
 
 // dfsState is a worker-private iterative DFS stack.

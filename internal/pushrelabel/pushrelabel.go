@@ -16,6 +16,7 @@
 package pushrelabel
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
@@ -39,6 +40,11 @@ type Options struct {
 	// QueueLimit caps the per-round work chunk a thread claims from the
 	// active queue; 0 means the paper's 500.
 	QueueLimit int
+
+	// OnPhase, when non-nil, is invoked on the driver goroutine after every
+	// global relabel (PR's phase analog; a consistent point for the mate
+	// arrays) with the phase count and the current cardinality.
+	OnPhase func(phase, cardinality int64)
 }
 
 // Defaults fills unset fields with the paper's parameters.
@@ -60,14 +66,34 @@ func (o Options) Defaults() Options {
 }
 
 // Run computes a maximum cardinality matching with push-relabel, updating m
-// in place.
+// in place. A contained worker panic is re-raised in the caller; use RunCtx
+// to receive it as an error instead.
 func Run(g *bipartite.Graph, m *matching.Matching, opts Options) *matching.Stats {
+	stats, err := RunCtx(context.Background(), g, m, opts)
+	if err != nil {
+		panic(err) // Background is never cancelled: err is a worker panic
+	}
+	return stats
+}
+
+// RunCtx is Run under a cancellation context, checked between rounds of
+// active-vertex processing (and, in the parallel variant, at block
+// granularity within a round). Push-relabel keeps the mate arrays a valid
+// matching after every double push — a push either matches a free Y or
+// steals a mate, never decreasing cardinality — so an interrupted run
+// returns a valid partial matching; the stats then have Complete=false and
+// err is the context's error. A contained worker panic is returned as
+// *par.PanicError.
+func RunCtx(ctx context.Context, g *bipartite.Graph, m *matching.Matching, opts Options) (*matching.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.Defaults()
 	stats := &matching.Stats{Algorithm: "PR", Threads: opts.Threads}
 	stats.InitialCardinality = m.Cardinality()
 	start := time.Now()
 
-	e := &prState{g: g, m: m, opts: opts, stats: stats}
+	e := &prState{g: g, m: m, opts: opts, ctx: ctx, stats: stats}
 	e.init()
 	if opts.Threads == 1 {
 		e.runSerial()
@@ -77,13 +103,16 @@ func Run(g *bipartite.Graph, m *matching.Matching, opts Options) *matching.Stats
 
 	stats.Runtime = time.Since(start)
 	stats.FinalCardinality = m.Cardinality()
-	return stats
+	stats.Complete = e.err == nil
+	return stats, e.err
 }
 
 type prState struct {
 	g    *bipartite.Graph
 	m    *matching.Matching
 	opts Options
+	ctx  context.Context
+	err  error
 
 	dX, dY []int32
 	limit  int32 // labels at or above limit mean "cannot reach a free Y"
@@ -174,7 +203,13 @@ func (e *prState) scanMin(x int32) (int32, int32) {
 
 func (e *prState) runSerial() {
 	mateX, mateY := e.m.MateX, e.m.MateY
-	for len(e.active) > 0 {
+	for {
+		if e.err = e.ctx.Err(); e.err != nil {
+			return // round boundary: the matching is consistent here
+		}
+		if len(e.active) == 0 {
+			return
+		}
 		e.next = e.next[:0]
 		for _, x := range e.active {
 			// x may have been matched since being queued only in the
@@ -184,6 +219,9 @@ func (e *prState) runSerial() {
 					e.pushes = 0
 					e.globalRelabel()
 					e.stats.Phases++ // count global relabels as phases
+					if e.opts.OnPhase != nil {
+						e.opts.OnPhase(e.stats.Phases, e.m.Cardinality())
+					}
 					if e.dX[x] >= e.limit {
 						break
 					}
@@ -222,7 +260,13 @@ func (e *prState) runParallel() {
 	edges := par.NewCounter(p)
 	pushOps := par.NewCounter(p)
 
-	for len(e.active) > 0 {
+	for {
+		if e.err = e.ctx.Err(); e.err != nil {
+			break // round boundary: the matching is consistent here
+		}
+		if len(e.active) == 0 {
+			break
+		}
 		// Collect next-round activations per worker, then merge.
 		nextLocal := make([][]int32, p)
 		grain := e.opts.QueueLimit
@@ -234,7 +278,9 @@ func (e *prState) runParallel() {
 		// worker that owns it (matched, dead, or — never — requeued by the
 		// owner), and a stolen mate is requeued exactly once by the thief.
 		// This prevents two workers from double-pushing the same x.
-		par.ForDynamic(p, len(e.active), grain, func(w int, lo, hi int) {
+		// Every committed push leaves the mate arrays a valid matching, so
+		// a cancelled round (blocks stop being claimed) is safe to abandon.
+		if e.err = par.ForDynamicCtx(e.ctx, p, len(e.active), grain, func(w int, lo, hi int) {
 			local := nextLocal[w]
 			for i := lo; i < hi; i++ {
 				x := e.active[i]
@@ -278,7 +324,9 @@ func (e *prState) runParallel() {
 				pushCount.Add(1)
 			}
 			nextLocal[w] = local
-		})
+		}); e.err != nil {
+			break
+		}
 
 		e.next = e.next[:0]
 		for _, local := range nextLocal {
@@ -294,6 +342,9 @@ func (e *prState) runParallel() {
 			pushCount.Store(0)
 			e.globalRelabel()
 			e.stats.Phases++
+			if e.opts.OnPhase != nil {
+				e.opts.OnPhase(e.stats.Phases, e.m.Cardinality())
+			}
 			// Re-filter actives under fresh labels.
 			w := 0
 			for _, x := range e.active {

@@ -93,5 +93,6 @@ func Run(g *bipartite.Graph, m *matching.Matching) *matching.Stats {
 
 	stats.Runtime = time.Since(start)
 	stats.FinalCardinality = m.Cardinality()
+	stats.Complete = true
 	return stats
 }

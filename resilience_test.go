@@ -1,0 +1,210 @@
+package graftmatch
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"graftmatch/internal/core"
+	"graftmatch/internal/gen"
+	"graftmatch/internal/par"
+)
+
+// resilienceSuite holds instances with multi-phase runs so mid-run
+// cancellation actually lands between phases.
+func resilienceSuite() map[string]*Graph {
+	return map[string]*Graph{
+		"er":        gen.ER(500, 500, 1500, 3),
+		"weblike":   gen.WebLike(10, 5, 0.35, 2),
+		"deficient": gen.RankDeficient(400, 400, 120, 3, 7),
+	}
+}
+
+// TestCancelResumeEquivalence is the central resilience property: cancel a
+// run at a random phase boundary, check the partial matching is valid, then
+// resume it — the final cardinality must equal an uninterrupted run's, for
+// every context-aware algorithm across thread counts.
+func TestCancelResumeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	algos := []Algorithm{MSBFSGraft, PothenFan, PushRelabel}
+	for name, g := range resilienceSuite() {
+		for _, algo := range algos {
+			want, err := Match(g, Options{Algorithm: algo, Initializer: NoInit})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, threads := range []int{1, 2, 4} {
+				cutoff := 1 + rng.Int63n(3) // cancel at phase 1..3
+				ctx, cancel := context.WithCancel(context.Background())
+				res, err := MatchContext(ctx, g, Options{
+					Algorithm:   algo,
+					Initializer: NoInit,
+					Threads:     threads,
+					OnPhase: func(phase, card int64) {
+						if phase == cutoff {
+							cancel()
+						}
+					},
+				})
+				cancel()
+				if err != nil {
+					t.Fatalf("%s/%v t=%d: %v", name, algo, threads, err)
+				}
+				if err := VerifyMatching(g, res.MateX, res.MateY); err != nil {
+					t.Fatalf("%s/%v t=%d: partial matching invalid: %v", name, algo, threads, err)
+				}
+				if res.Complete {
+					// The run finished before phase `cutoff`; nothing to
+					// resume, but the result must already be maximum.
+					if res.Cardinality != want.Cardinality {
+						t.Fatalf("%s/%v t=%d: complete with %d, want %d",
+							name, algo, threads, res.Cardinality, want.Cardinality)
+					}
+					continue
+				}
+				if res.Cardinality > want.Cardinality {
+					t.Fatalf("%s/%v t=%d: partial exceeds maximum", name, algo, threads)
+				}
+				resumed, err := ResumeMatch(g, res.MateX, res.MateY, Options{Algorithm: algo, Threads: threads})
+				if err != nil {
+					t.Fatalf("%s/%v t=%d: resume: %v", name, algo, threads, err)
+				}
+				if !resumed.Complete || resumed.Cardinality != want.Cardinality {
+					t.Fatalf("%s/%v t=%d: resumed to %d (complete=%v), want %d",
+						name, algo, threads, resumed.Cardinality, resumed.Complete, want.Cardinality)
+				}
+				if err := VerifyMaximum(g, resumed.MateX, resumed.MateY); err != nil {
+					t.Fatalf("%s/%v t=%d: %v", name, algo, threads, err)
+				}
+			}
+		}
+	}
+}
+
+// TestDeadlineInPast: Options.Deadline already expired must return the
+// initializer's matching as a partial result with a nil error.
+func TestDeadlineInPast(t *testing.T) {
+	g := gen.ER(200, 200, 800, 1)
+	for _, algo := range []Algorithm{MSBFSGraft, PothenFan, PushRelabel, HopcroftKarp, SSBFS, SSDFS} {
+		res, err := Match(g, Options{Algorithm: algo, Deadline: time.Now().Add(-time.Hour)})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if res.Complete {
+			t.Fatalf("%v: expired deadline produced a complete result", algo)
+		}
+		if err := VerifyMatching(g, res.MateX, res.MateY); err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if res.Cardinality != res.Stats.InitialCardinality {
+			t.Fatalf("%v: partial |M| %d != initial %d", algo, res.Cardinality, res.Stats.InitialCardinality)
+		}
+	}
+}
+
+// TestMatchContextWorkerPanic drives the containment path end to end: a
+// panicking worker inside the engine must surface as an error from the
+// facade — no crash, no hung WaitGroup — and must not be mistaken for a
+// cancellation.
+func TestMatchContextWorkerPanic(t *testing.T) {
+	// Unconditional so the fault fires regardless of which worker claims
+	// the first block (on few-core machines one worker may claim them all).
+	core.TestHookWorkerFault = func(worker int) {
+		panic("injected worker fault")
+	}
+	defer func() { core.TestHookWorkerFault = nil }()
+
+	g := gen.ER(400, 400, 1600, 9)
+	res, err := MatchContext(context.Background(), g, Options{Initializer: NoInit, Threads: 4})
+	if err == nil {
+		t.Fatal("want error from contained worker panic")
+	}
+	if res != nil {
+		t.Fatal("a panicked run must not return a result")
+	}
+	var pe *par.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err=%v, want *par.PanicError", err)
+	}
+}
+
+// TestVerifyHardening: malformed inputs yield descriptive errors, never
+// panics.
+func TestVerifyHardening(t *testing.T) {
+	g := MustFromEdges(3, 3, []Edge{{X: 0, Y: 0}, {X: 1, Y: 1}})
+	short := []int32{-1}
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"nil-graph-verify", VerifyMatching(nil, nil, nil)},
+		{"nil-graph-maximum", VerifyMaximum(nil, nil, nil)},
+		{"short-mateX", VerifyMatching(g, short, []int32{-1, -1, -1})},
+		{"short-mateY", VerifyMatching(g, []int32{-1, -1, -1}, short)},
+		{"nil-mates", VerifyMatching(g, nil, nil)},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+// TestResumeMatchHardening: resuming from mismatched or invalid mate arrays
+// fails loudly instead of panicking or silently corrupting.
+func TestResumeMatchHardening(t *testing.T) {
+	g := MustFromEdges(3, 3, []Edge{{X: 0, Y: 0}, {X: 1, Y: 1}})
+	if _, err := ResumeMatch(nil, nil, nil, Options{}); err == nil {
+		t.Error("nil graph: want error")
+	}
+	if _, err := ResumeMatch(g, []int32{-1}, []int32{-1, -1, -1}, Options{}); err == nil {
+		t.Error("short mateX: want error")
+	}
+	if _, err := ResumeMatch(g, []int32{2, -1, -1}, []int32{-1, -1, 0}, Options{}); err == nil {
+		t.Error("non-edge pair: want error")
+	}
+	// A valid partial matching resumes fine.
+	res, err := ResumeMatch(g, []int32{0, -1, -1}, []int32{0, -1, -1}, Options{})
+	if err != nil || res.Cardinality != 2 || !res.Complete {
+		t.Fatalf("valid resume: res=%+v err=%v", res, err)
+	}
+}
+
+// TestSerialAlgorithmsPreCancelled: serial algorithms check the context
+// before launching and degrade to the initializer's matching.
+func TestSerialAlgorithmsPreCancelled(t *testing.T) {
+	g := gen.ER(100, 100, 400, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range []Algorithm{HopcroftKarp, SSBFS, SSDFS} {
+		res, err := MatchContext(ctx, g, Options{Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if res.Complete {
+			t.Fatalf("%v: pre-cancelled run marked complete", algo)
+		}
+		if err := VerifyMatching(g, res.MateX, res.MateY); err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+	}
+}
+
+// TestMatchUnaffectedByBackgroundContext pins that the resilient plumbing
+// did not change fault-free behavior: Match still reaches the maximum with
+// Complete set.
+func TestMatchUnaffectedByBackgroundContext(t *testing.T) {
+	g := gen.ER(300, 300, 1000, 5)
+	res, err := Match(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("fault-free run not complete")
+	}
+	if err := VerifyMaximum(g, res.MateX, res.MateY); err != nil {
+		t.Fatal(err)
+	}
+}
