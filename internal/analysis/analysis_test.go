@@ -1,0 +1,134 @@
+package analysis_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graftmatch/internal/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// fixtureCases pairs each check with its fixture tree and the configuration
+// the fixture assumes. Every fixture holds a pos package (all findings) and
+// a neg package (no findings), which the runner enforces structurally on
+// top of the golden comparison.
+var fixtureCases = []struct {
+	name   string
+	checks []string
+	cfg    analysis.Config
+}{
+	{"atomicalign", []string{"atomic-align"}, analysis.Config{}},
+	{"mixedaccess", []string{"mixed-access"}, analysis.Config{}},
+	{"falseshare", []string{"falseshare"}, analysis.Config{}},
+	{"ctxdiscipline", []string{"ctx-discipline"}, analysis.Config{CtxPackages: []string{"pos", "neg"}}},
+	{"errchecked", []string{"err-checked"}, analysis.Config{PanicPackages: []string{"neg"}}},
+	{"suppress", nil, analysis.Config{}},
+}
+
+func TestGolden(t *testing.T) {
+	for _, tc := range fixtureCases {
+		t.Run(tc.name, func(t *testing.T) {
+			root := filepath.Join("testdata", "src", tc.name)
+			prog, err := analysis.LoadTree(root, "fix", tc.cfg)
+			if err != nil {
+				t.Fatalf("LoadTree(%s): %v", root, err)
+			}
+			diags, err := prog.Run(tc.checks)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			absRoot, err := filepath.Abs(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			for _, d := range diags {
+				rel, err := filepath.Rel(absRoot, d.Pos.Filename)
+				if err != nil {
+					t.Fatalf("diagnostic outside fixture root: %s", d.Pos.Filename)
+				}
+				rel = filepath.ToSlash(rel)
+				if strings.HasPrefix(rel, "neg/") {
+					t.Errorf("finding in negative fixture package: %s:%d: %s: %s", rel, d.Pos.Line, d.Check, d.Message)
+				}
+				fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+			}
+			got := b.String()
+			if got == "" {
+				t.Errorf("fixture %s produced no findings; every fixture must have positives", tc.name)
+			}
+			goldenPath := filepath.Join("testdata", "golden", tc.name+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test -run TestGolden -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics differ from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// TestRepoIsClean loads the real module and requires zero findings: the
+// acceptance bar the CI graftlint job enforces, kept inside go test so a
+// plain test run catches regressions too.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not found at %s: %v", root, err)
+	}
+	prog, err := analysis.LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	diags, err := prog.Run(nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestRunUnknownCheck(t *testing.T) {
+	prog, err := analysis.LoadTree(filepath.Join("testdata", "src", "falseshare"), "fix", analysis.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Run([]string{"no-such-check"}); err == nil {
+		t.Fatal("Run accepted an unknown check name")
+	}
+}
+
+func TestCheckNames(t *testing.T) {
+	want := []string{"atomic-align", "mixed-access", "falseshare", "ctx-discipline", "err-checked"}
+	got := analysis.CheckNames()
+	if len(got) != len(want) {
+		t.Fatalf("CheckNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CheckNames()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

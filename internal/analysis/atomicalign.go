@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicAlign is the atomic-align check: every word reached by a 64-bit
+// sync/atomic operation must be 8-byte aligned under the strictest 32-bit
+// layout (gc/386), where int64 has only 4-byte natural alignment. The
+// tree-grafting kernels put their hot words (frontier cursors, per-worker
+// counters, mate CAS words) inside structs, and a field that lands on a
+// 4-mod-8 offset panics at runtime on 386/arm — a failure the race detector
+// and amd64 CI can never see. Addressed through the alignment rules the
+// sync/atomic documentation guarantees: the first word of an allocated
+// struct, slice element array, or package-level variable is 64-bit aligned.
+func AtomicAlign() Check {
+	return Check{
+		Name: "atomic-align",
+		Doc:  "64-bit sync/atomic operands must be 8-byte aligned under GOARCH=386 layout",
+		Run:  runAtomicAlign,
+	}
+}
+
+func runAtomicAlign(prog *Program) []Diagnostic {
+	var out []Diagnostic
+	prog.eachFunc(func(pkg *Package, node ast.Node, body *ast.BlockStmt) {
+		walkShallow(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, addr, ok := atomicCall(pkg, call)
+			if !ok || !is64BitAtomic(fn) {
+				return true
+			}
+			if d := prog.checkAddrAlign(pkg, fn, addr); d != nil {
+				out = append(out, *d)
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// checkAddrAlign validates the 386 alignment of the operand of a 64-bit
+// atomic, following the addressing chain down to an alignment anchor (an
+// allocation or a package-level variable, both 8-aligned by the sync/atomic
+// contract).
+func (prog *Program) checkAddrAlign(pkg *Package, fn string, addr ast.Expr) *Diagnostic {
+	switch e := addr.(type) {
+	case *ast.SelectorExpr:
+		f := fieldSelection(pkg, e)
+		if f == nil {
+			return nil // package-qualified var: 8-aligned by the spec
+		}
+		off, ok := prog.selectionOffset32(pkg, e)
+		if !ok {
+			return nil
+		}
+		if off%8 != 0 {
+			d := prog.diag(e.Sel.Pos(), "atomic-align",
+				"atomic.%s on field %s at 32-bit offset %d (need 8-byte alignment on GOARCH=386/arm); move it to the front of the struct or pad before it",
+				fn, f.Name(), off)
+			return &d
+		}
+		return prog.checkBaseAlign(pkg, fn, ast.Unparen(e.X))
+	case *ast.IndexExpr:
+		return prog.checkIndexAlign(pkg, fn, e)
+	}
+	// Bare identifiers (package-level or escaping local vars) and
+	// dereferences anchor a fresh allocation: 8-aligned by the spec.
+	return nil
+}
+
+// checkBaseAlign validates the part of the chain *enclosing* an already
+// 8-aligned offset: the enclosing struct itself must sit on an 8-aligned
+// base for the field offset to mean anything.
+func (prog *Program) checkBaseAlign(pkg *Package, fn string, base ast.Expr) *Diagnostic {
+	switch e := base.(type) {
+	case *ast.SelectorExpr:
+		if f := fieldSelection(pkg, e); f != nil {
+			off, ok := prog.selectionOffset32(pkg, e)
+			if !ok {
+				return nil
+			}
+			if off%8 != 0 {
+				d := prog.diag(e.Sel.Pos(), "atomic-align",
+					"atomic.%s target nested in field %s at 32-bit offset %d (need 8-byte alignment on GOARCH=386/arm)",
+					fn, f.Name(), off)
+				return &d
+			}
+			return prog.checkBaseAlign(pkg, fn, ast.Unparen(e.X))
+		}
+		return nil
+	case *ast.IndexExpr:
+		return prog.checkIndexAlign(pkg, fn, e)
+	}
+	return nil
+}
+
+// checkIndexAlign validates element addressing: elements keep the base
+// alignment only when the element size is a multiple of 8 under 386 layout.
+func (prog *Program) checkIndexAlign(pkg *Package, fn string, e *ast.IndexExpr) *Diagnostic {
+	tv, ok := pkg.Info.Types[e.X]
+	if !ok {
+		return nil
+	}
+	var elem types.Type
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice:
+		elem = t.Elem()
+	case *types.Array:
+		elem = t.Elem()
+	case *types.Pointer:
+		if a, isArr := t.Elem().Underlying().(*types.Array); isArr {
+			elem = a.Elem()
+		}
+	}
+	if elem == nil {
+		return nil
+	}
+	if sz := prog.Sizes32.Sizeof(elem); sz%8 != 0 {
+		d := prog.diag(e.Pos(), "atomic-align",
+			"atomic.%s on an element of %s (32-bit element size %d not a multiple of 8; elements beyond index 0 lose 8-byte alignment on GOARCH=386/arm)",
+			fn, types.TypeString(tv.Type, types.RelativeTo(pkg.Types)), sz)
+		return &d
+	}
+	return prog.checkBaseAlign(pkg, fn, ast.Unparen(e.X))
+}
+
+// selectionOffset32 computes the byte offset of the field named by sel
+// within its immediately enclosing struct chain (through embedded value
+// fields) under 386 layout. The second result is false when the offset is
+// not meaningful (e.g. selection through an embedded pointer, which anchors
+// a fresh 8-aligned allocation).
+func (prog *Program) selectionOffset32(pkg *Package, sel *ast.SelectorExpr) (int64, bool) {
+	s := pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return 0, false
+	}
+	t := s.Recv()
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	var off int64
+	for _, idx := range s.Index() {
+		st, isStruct := t.Underlying().(*types.Struct)
+		if !isStruct {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		off += prog.Sizes32.Offsetsof(fields)[idx]
+		ft := st.Field(idx).Type()
+		if p, isPtr := ft.Underlying().(*types.Pointer); isPtr {
+			// Embedded pointer: the tail of the path lives in its own
+			// allocation; restart the offset at that anchor.
+			off = 0
+			t = p.Elem()
+			continue
+		}
+		t = ft
+	}
+	return off, true
+}

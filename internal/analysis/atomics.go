@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// atomicPkgPath is the package whose pointer-taking functions define the
+// "accessed atomically" property the checks reason about. The typed wrappers
+// (atomic.Int64 etc.) are exempt by construction: their state is unexported,
+// so it cannot be accessed plainly, and the runtime guarantees their 64-bit
+// alignment on every GOARCH.
+const atomicPkgPath = "sync/atomic"
+
+// atomicCall reports whether call is a sync/atomic package-level function
+// applied to &addr, returning the function name and the addressed operand
+// (with parentheses stripped).
+func atomicCall(pkg *Package, call *ast.CallExpr) (fn string, addr ast.Expr, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", nil, false
+	}
+	obj := pkg.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != atomicPkgPath {
+		return "", nil, false
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return "", nil, false
+	}
+	if len(call.Args) == 0 {
+		return "", nil, false
+	}
+	unary, isUnary := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !isUnary || unary.Op.String() != "&" {
+		return "", nil, false
+	}
+	return obj.Name(), ast.Unparen(unary.X), true
+}
+
+// is64BitAtomic reports whether the sync/atomic function operates on a
+// 64-bit word.
+func is64BitAtomic(fn string) bool { return strings.Contains(fn, "64") }
+
+// fieldSelection resolves a selector to the struct field it names, or nil.
+func fieldSelection(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	s := pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// isInternal reports whether obj is declared in this module.
+func (prog *Program) isInternal(obj types.Object) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == prog.ModPath || strings.HasPrefix(p, prog.ModPath+"/")
+}
+
+// funcLabel names a function node for diagnostics.
+func funcLabel(node ast.Node) string {
+	if fd, ok := node.(*ast.FuncDecl); ok {
+		return fd.Name.Name
+	}
+	return "function literal"
+}

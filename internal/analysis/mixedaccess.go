@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MixedAccess is the mixed-access check: a word that one piece of code
+// reaches through sync/atomic must not be read or written plainly where the
+// two accesses can race. Two rules, matching how the kernels are structured:
+//
+//   - Scalar rule (whole program): a struct field or package-level variable
+//     addressed by atomic.* anywhere must be accessed only atomically
+//     everywhere else — except inside init functions and composite-literal
+//     keys, which run before any goroutine can observe the word.
+//
+//   - Element rule (per function): if a function passes &base[i] to
+//     atomic.*, every other element access of the same base inside that same
+//     function must also be atomic. Cross-function plain access to the same
+//     array is deliberately allowed: the level-synchronous algorithms switch
+//     between atomic (parallel phase) and plain (after the fork/join
+//     barrier) access legitimately, and the barrier is exactly a function
+//     boundary in this codebase.
+func MixedAccess() Check {
+	return Check{
+		Name: "mixed-access",
+		Doc:  "words accessed via sync/atomic must not also be accessed plainly where it can race",
+		Run:  runMixedAccess,
+	}
+}
+
+type mixedFuncInfo struct {
+	pkg  *Package
+	node ast.Node
+	body *ast.BlockStmt
+	// elemTargets maps the base object of an atomically addressed element
+	// (&base[i]) to the first atomic site in this function.
+	elemTargets map[types.Object]token.Pos
+	// skip holds the operand subtrees of atomic calls and composite-literal
+	// keys: accesses inside them are not "plain".
+	skip map[ast.Node]bool
+}
+
+func runMixedAccess(prog *Program) []Diagnostic {
+	// Pass 1: collect atomic targets and excluded subtrees.
+	scalarTargets := map[types.Object]token.Pos{}
+	var funcs []*mixedFuncInfo
+	prog.eachFunc(func(pkg *Package, node ast.Node, body *ast.BlockStmt) {
+		fi := &mixedFuncInfo{
+			pkg: pkg, node: node, body: body,
+			elemTargets: map[types.Object]token.Pos{},
+			skip:        map[ast.Node]bool{},
+		}
+		walkShallow(body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CompositeLit:
+				for _, elt := range e.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if key, ok := kv.Key.(*ast.Ident); ok {
+							fi.skip[key] = true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				_, addr, ok := atomicCall(pkg, e)
+				if !ok {
+					return true
+				}
+				fi.skip[addr] = true
+				switch a := addr.(type) {
+				case *ast.SelectorExpr:
+					if f := fieldSelection(pkg, a); f != nil {
+						if _, seen := scalarTargets[f]; !seen {
+							scalarTargets[f] = a.Pos()
+						}
+					}
+				case *ast.Ident:
+					if obj := pkg.Info.Uses[a]; isPackageVar(obj) {
+						if _, seen := scalarTargets[obj]; !seen {
+							scalarTargets[obj] = a.Pos()
+						}
+					}
+				case *ast.IndexExpr:
+					if obj := baseObject(pkg, a.X); obj != nil {
+						if _, seen := fi.elemTargets[obj]; !seen {
+							fi.elemTargets[obj] = a.Pos()
+						}
+					}
+				}
+				return true
+			}
+			return true
+		})
+		funcs = append(funcs, fi)
+	})
+
+	// Pass 2: report plain accesses.
+	var out []Diagnostic
+	for _, fi := range funcs {
+		if isInitFunc(fi.node) {
+			continue
+		}
+		pkg := fi.pkg
+		walkShallow(fi.body, func(n ast.Node) bool {
+			if fi.skip[n] {
+				return false
+			}
+			switch e := n.(type) {
+			case *ast.Ident:
+				obj := pkg.Info.Uses[e]
+				if obj == nil {
+					return true
+				}
+				if atomicPos, isTarget := scalarTargets[obj]; isTarget {
+					out = append(out, prog.diag(e.Pos(), "mixed-access",
+						"plain access of %s, which is accessed atomically at %s; use sync/atomic (or annotate why the access cannot race)",
+						obj.Name(), prog.shortPos(atomicPos)))
+				}
+			case *ast.IndexExpr:
+				obj := baseObject(pkg, e.X)
+				if obj == nil {
+					return true
+				}
+				if atomicPos, isTarget := fi.elemTargets[obj]; isTarget {
+					out = append(out, prog.diag(e.Pos(), "mixed-access",
+						"plain element access of %s in %s, which also accesses its elements atomically at %s; inside one parallel region every access must be atomic",
+						obj.Name(), funcLabel(fi.node), prog.shortPos(atomicPos)))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// baseObject resolves the base expression of an index to the variable or
+// field object it names.
+func baseObject(pkg *Package, base ast.Expr) types.Object {
+	switch b := ast.Unparen(base).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[b]; obj != nil {
+			if _, isVar := obj.(*types.Var); isVar {
+				return obj
+			}
+		}
+	case *ast.SelectorExpr:
+		if f := fieldSelection(pkg, b); f != nil {
+			return f
+		}
+		if obj := pkg.Info.Uses[b.Sel]; isPackageVar(obj) {
+			return obj
+		}
+	}
+	return nil
+}
+
+// isPackageVar reports whether obj is a package-level variable.
+func isPackageVar(obj types.Object) bool {
+	v, isVar := obj.(*types.Var)
+	if !isVar || v.IsField() {
+		return false
+	}
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// isInitFunc reports whether node is a package init function.
+func isInitFunc(node ast.Node) bool {
+	fd, isDecl := node.(*ast.FuncDecl)
+	return isDecl && fd.Recv == nil && fd.Name.Name == "init"
+}

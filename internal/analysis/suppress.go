@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//lint:ignore <check>[,<check>...] <reason>
+//
+// The directive silences the named checks on its own line and on the
+// following line, so it can annotate the flagged statement directly
+// (trailing comment) or sit on the line just above it. The reason is
+// mandatory: a suppression without a justification is itself a finding
+// (reported under the pseudo-check "lint-directive").
+const ignorePrefix = "//lint:ignore"
+
+// suppressions indexes parsed //lint:ignore directives by file and line.
+type suppressions struct {
+	// byLine maps filename -> line -> set of suppressed check names.
+	byLine    map[string]map[int]map[string]bool
+	malformed []Diagnostic
+}
+
+// parseSuppressions scans every comment of every file in the program.
+func parseSuppressions(prog *Program) *suppressions {
+	s := &suppressions{byLine: map[string]map[int]map[string]bool{}}
+	known := map[string]bool{}
+	for _, name := range CheckNames() {
+		known[name] = true
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					s.parseComment(prog, known, c)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) parseComment(prog *Program, known map[string]bool, c *ast.Comment) {
+	text, ok := strings.CutPrefix(c.Text, ignorePrefix)
+	if !ok {
+		return
+	}
+	bad := func(format string, args ...any) {
+		s.malformed = append(s.malformed, prog.diag(c.Pos(), "lint-directive", format, args...))
+	}
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		bad("malformed %s: missing check name and reason", ignorePrefix)
+		return
+	}
+	if len(fields) < 2 {
+		bad("malformed %s %s: missing reason", ignorePrefix, fields[0])
+		return
+	}
+	checks := strings.Split(fields[0], ",")
+	for _, name := range checks {
+		if !known[name] {
+			bad("%s names unknown check %q (have %s)", ignorePrefix, name, strings.Join(CheckNames(), ", "))
+			return
+		}
+	}
+	pos := prog.Fset.Position(c.Pos())
+	lines := s.byLine[pos.Filename]
+	if lines == nil {
+		lines = map[int]map[string]bool{}
+		s.byLine[pos.Filename] = lines
+	}
+	// A directive covers its own line (trailing-comment form) and the next
+	// line (standalone-comment-above form). Both forms are deterministic and
+	// keep the annotation adjacent to the code it justifies.
+	for _, ln := range []int{pos.Line, pos.Line + 1} {
+		set := lines[ln]
+		if set == nil {
+			set = map[string]bool{}
+			lines[ln] = set
+		}
+		for _, name := range checks {
+			set[name] = true
+		}
+	}
+}
+
+// suppressed reports whether d is silenced by a directive.
+func (s *suppressions) suppressed(d Diagnostic) bool {
+	lines := s.byLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[d.Pos.Line][d.Check]
+}

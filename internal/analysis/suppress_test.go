@@ -1,0 +1,79 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graftmatch/internal/analysis"
+)
+
+func loadSuppress(t *testing.T, checks []string) []analysis.Diagnostic {
+	t.Helper()
+	prog, err := analysis.LoadTree(filepath.Join("testdata", "src", "suppress"), "fix", analysis.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := prog.Run(checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func TestSuppressionForms(t *testing.T) {
+	diags := loadSuppress(t, []string{"err-checked"})
+	var errChecked, directive []analysis.Diagnostic
+	for _, d := range diags {
+		switch d.Check {
+		case "err-checked":
+			errChecked = append(errChecked, d)
+		case "lint-directive":
+			directive = append(directive, d)
+		default:
+			t.Errorf("unexpected check %q in suppression fixture: %s", d.Check, d)
+		}
+	}
+	// Five fail() discards are visible to err-checked: Unsuppressed,
+	// WrongCheck, MissingReason, UnknownCheck, and Bare (the latter three
+	// because their directives are malformed and suppress nothing).
+	// Trailing, Above, and Multi are suppressed.
+	if len(errChecked) != 5 {
+		t.Errorf("err-checked findings = %d, want 5:\n%s", len(errChecked), render(errChecked))
+	}
+	// Three malformed directives: missing reason, unknown check, bare.
+	if len(directive) != 3 {
+		t.Errorf("lint-directive findings = %d, want 3:\n%s", len(directive), render(directive))
+	}
+	for _, d := range errChecked {
+		if !strings.Contains(d.Message, "fail") {
+			t.Errorf("err-checked finding does not name the callee: %s", d)
+		}
+	}
+}
+
+// TestMalformedDirectivesAlwaysReported runs a check selection that does
+// not include err-checked: malformed directives must still surface.
+func TestMalformedDirectivesAlwaysReported(t *testing.T) {
+	diags := loadSuppress(t, []string{"falseshare"})
+	count := 0
+	for _, d := range diags {
+		if d.Check != "lint-directive" {
+			t.Errorf("unexpected finding: %s", d)
+			continue
+		}
+		count++
+	}
+	if count != 3 {
+		t.Errorf("lint-directive findings = %d, want 3:\n%s", count, render(diags))
+	}
+}
+
+func render(diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+// Package neg holds atomic-align negative cases: every atomic access below
+// is 8-byte aligned on every GOARCH and must produce no diagnostics.
+package neg
+
+import "sync/atomic"
+
+// counters keeps the atomic word first: offset 0 anchors on the allocation.
+type counters struct {
+	hits  int64
+	ready bool
+}
+
+func Bump(c *counters) { atomic.AddInt64(&c.hits, 1) }
+
+// padded reaches offset 8 by explicit padding.
+type padded struct {
+	flag int32
+	_    int32
+	hits int64
+}
+
+func BumpPadded(p *padded) { atomic.AddInt64(&p.hits, 1) }
+
+// global package-level words are 8-aligned by the sync/atomic contract.
+var global int64
+
+func BumpGlobal() { atomic.AddInt64(&global, 1) }
+
+// typed wrappers carry a runtime alignment guarantee on every GOARCH, even
+// at an odd offset.
+type typed struct {
+	flag bool
+	n    atomic.Int64
+}
+
+func BumpTyped(t *typed) { t.n.Add(1) }
+
+// Words has an 8-byte element stride from an allocated (8-aligned) base.
+func Words(words []uint64, i int) uint64 {
+	return atomic.LoadUint64(&words[i])
+}
+
+// Local vars that escape through an atomic call are heap allocations.
+func Local() int64 {
+	var n int64
+	return atomic.LoadInt64(&n)
+}

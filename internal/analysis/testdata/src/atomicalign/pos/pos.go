@@ -1,0 +1,47 @@
+// Package pos holds atomic-align positive cases: every atomic call below
+// reaches a 64-bit word that is only 4-byte aligned under GOARCH=386
+// layout.
+package pos
+
+import "sync/atomic"
+
+// counters puts the atomic word after a bool: offset 4 on 386.
+type counters struct {
+	ready bool
+	hits  int64
+}
+
+// Bump must be diagnosed: hits sits at 32-bit offset 4.
+func Bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// slot is 12 bytes on 386, so slots[1].n is 4 mod 8 from the base.
+type slot struct {
+	n   int64
+	tag int32
+}
+
+// Drain must be diagnosed: the element stride breaks alignment.
+func Drain(slots []slot) int64 {
+	var total int64
+	for i := range slots {
+		total += atomic.LoadInt64(&slots[i].n)
+	}
+	return total
+}
+
+// nested reaches an aligned-offset field through a misaligned enclosing
+// struct field.
+type nested struct {
+	pad  int32
+	body struct {
+		first int64
+	}
+}
+
+// Nest must be diagnosed: first is at offset 0 of body, but body itself is
+// at offset 4.
+func Nest(n *nested) {
+	atomic.StoreInt64(&n.body.first, 7)
+}

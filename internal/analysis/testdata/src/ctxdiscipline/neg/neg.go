@@ -1,0 +1,15 @@
+// Package neg holds ctx-discipline negative cases: the Run/RunCtx pairing
+// every engine package in this repo uses.
+package neg
+
+import "context"
+
+// RunCtx is the cancellable entry point.
+func RunCtx(ctx context.Context) error { return ctx.Err() }
+
+// Run is the convenience wrapper; the RunCtx sibling keeps the engine
+// cancellable, so Run itself needs no context parameter.
+func Run() error { return RunCtx(context.Background()) }
+
+// RunWith carries the context directly instead of via a sibling.
+func RunWith(ctx context.Context) error { return RunCtx(ctx) }

@@ -1,0 +1,22 @@
+// Package pos holds ctx-discipline positive cases. The fixture config lists
+// this package in CtxPackages, making it an engine package whose Run entry
+// points must be cancellable.
+package pos
+
+import "context"
+
+// BadCtx must be diagnosed twice: the Ctx suffix promises a context first
+// parameter and an error result, and it has neither.
+func BadCtx(n int) { _ = n }
+
+// Run must be diagnosed: no context parameter and no RunCtx sibling.
+func Run() {}
+
+// DoCtx is a compliant context-aware helper used below.
+func DoCtx(ctx context.Context) error { return ctx.Err() }
+
+// Swallow must be diagnosed: the error carrying cancellation out of DoCtx
+// is dropped on the floor.
+func Swallow(ctx context.Context) {
+	DoCtx(ctx)
+}

@@ -1,0 +1,30 @@
+// Package neg holds err-checked negative cases. The fixture config lists
+// this package in PanicPackages, standing in for the containment layer.
+package neg
+
+import (
+	"errors"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+// Handled propagates the error.
+func Handled() error { return fail() }
+
+// Waived discards explicitly: visible in review, allowed by the check.
+func Waived() {
+	_ = fail()
+}
+
+// External error-returning callees are go vet's business, not this check's.
+func External(b *strings.Builder) {
+	b.WriteString("x")
+}
+
+// guard panics inside the containment layer, which is allowed.
+func guard() {
+	panic("contained")
+}
+
+var _ = guard

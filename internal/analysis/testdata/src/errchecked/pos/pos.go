@@ -1,0 +1,27 @@
+// Package pos holds err-checked positive cases: dropped internal errors in
+// every statement position, and a panic outside the containment layer.
+package pos
+
+import "errors"
+
+func fail() error { return errors.New("boom") }
+
+// Drop must be diagnosed: bare statement call discards the error.
+func Drop() {
+	fail()
+}
+
+// DropGo must be diagnosed: the goroutine's error vanishes with it.
+func DropGo() {
+	go fail()
+}
+
+// DropDefer must be diagnosed: the deferred error is unobservable.
+func DropDefer() {
+	defer fail()
+}
+
+// Explode must be diagnosed: this package is not in PanicPackages.
+func Explode() {
+	panic("boom")
+}

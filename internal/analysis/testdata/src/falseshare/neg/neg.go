@@ -1,0 +1,27 @@
+// Package neg holds falseshare negative cases.
+package neg
+
+// padded is one full cache line; adjacent workers never share one.
+type padded struct {
+	v int64
+	_ [56]byte
+}
+
+type Pool struct {
+	cells []padded
+}
+
+func (p *Pool) Add(w int, d int64) { p.cells[w].v += d }
+
+// Limit only reads its slot: read-sharing does not ping-pong lines.
+func Limit(limits []int64, w int) int64 { return limits[w] }
+
+// Sum indexes by a loop variable, not a worker id: sequential fold after
+// the join barrier.
+func Sum(vals []int64) int64 {
+	var s int64
+	for i := range vals {
+		s += vals[i]
+	}
+	return s
+}

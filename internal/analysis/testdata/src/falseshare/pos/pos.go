@@ -1,0 +1,24 @@
+// Package pos holds falseshare positive cases: per-worker slots whose
+// neighbors share a cache line.
+package pos
+
+// counter is 8 bytes: eight workers' counters per cache line.
+type counter struct {
+	v int64
+}
+
+// Pool indexes counters by worker id.
+type Pool struct {
+	cells []counter
+}
+
+// Add must be diagnosed: counter is not cache-line padded.
+func (p *Pool) Add(w int, d int64) {
+	p.cells[w].v += d
+}
+
+// Tally must be diagnosed: in-place writes to a bare int64 slot indexed by
+// worker id are the canonical false-sharing bug.
+func Tally(counts []int64, w int) {
+	counts[w]++
+}

@@ -1,0 +1,39 @@
+// Package neg holds mixed-access negative cases: consistent atomic use,
+// plus the sanctioned plain forms (init, composite-literal keys, and
+// cross-function phase separation).
+package neg
+
+import "sync/atomic"
+
+type state struct {
+	flag int32
+	gen  int32
+}
+
+func Set(s *state) { atomic.StoreInt32(&s.flag, 1) }
+
+func Get(s *state) int32 { return atomic.LoadInt32(&s.flag) }
+
+// New writes flag through a composite-literal key, which runs before any
+// goroutine can observe the word.
+func New() *state { return &state{flag: 0, gen: 1} }
+
+var phase int32
+
+// init runs before main; plain access is allowed.
+func init() { phase = 0 }
+
+func Bump() { atomic.AddInt32(&phase, 1) }
+
+// Claim uses atomics on visited's elements during the parallel phase.
+func Claim(visited []int32, y int) bool {
+	return atomic.CompareAndSwapInt32(&visited[y], 0, 1)
+}
+
+// Reset runs after the fork/join barrier, in a different function: plain
+// element stores are legal there.
+func Reset(visited []int32) {
+	for i := range visited {
+		visited[i] = 0
+	}
+}

@@ -1,0 +1,37 @@
+// Package pos holds mixed-access positive cases: words reached through
+// sync/atomic somewhere and plainly elsewhere.
+package pos
+
+import "sync/atomic"
+
+type state struct {
+	flag int32
+}
+
+// SetAtomic establishes flag as an atomically accessed word.
+func SetAtomic(s *state) { atomic.StoreInt32(&s.flag, 1) }
+
+// ReadPlain must be diagnosed: plain read of an atomic word.
+func ReadPlain(s *state) int32 { return s.flag }
+
+// ClearPlain must be diagnosed: plain write of an atomic word.
+func ClearPlain(s *state) { s.flag = 0 }
+
+// phase is a package-level word accessed atomically below.
+var phase int32
+
+func NextPhase() { atomic.AddInt32(&phase, 1) }
+
+// ResetPhase must be diagnosed: plain write of an atomic package var.
+func ResetPhase() { phase = 0 }
+
+// Sweep must be diagnosed once: inside a single function, element accesses
+// of visited mix CAS and a plain store.
+func Sweep(visited []int32) {
+	for i := range visited {
+		if atomic.CompareAndSwapInt32(&visited[i], 0, 1) {
+			continue
+		}
+		visited[i] = 2
+	}
+}

@@ -1,0 +1,56 @@
+// Package suppress exercises //lint:ignore parsing: trailing and
+// line-above directive forms, multi-check directives, directives naming the
+// wrong check, and malformed directives.
+package suppress
+
+import "errors"
+
+func fail() error { return errors.New("x") }
+
+// Trailing is suppressed by a directive on the flagged line itself.
+func Trailing() {
+	fail() //lint:ignore err-checked fixture: trailing-form suppression
+}
+
+// Above is suppressed by a directive on the line above.
+func Above() {
+	//lint:ignore err-checked fixture: line-above-form suppression
+	fail()
+}
+
+// Unsuppressed must be diagnosed: no directive.
+func Unsuppressed() {
+	fail()
+}
+
+// WrongCheck must still be diagnosed: the directive names a different
+// check, so the err-checked finding stays live.
+func WrongCheck() {
+	//lint:ignore falseshare fixture: wrong check name leaves the finding live
+	fail()
+}
+
+// Multi is suppressed through the comma-separated form.
+func Multi() {
+	//lint:ignore err-checked,falseshare fixture: multi-check directive
+	fail()
+}
+
+// MissingReason sits under a directive with no reason: the directive itself
+// must be diagnosed (lint-directive) and suppresses nothing.
+func MissingReason() {
+	//lint:ignore err-checked
+	fail()
+}
+
+// UnknownCheck sits under a directive naming a check that does not exist.
+func UnknownCheck() {
+	//lint:ignore no-such-check fixture: unknown check name
+	fail()
+}
+
+// Bare exercises the totally empty directive form.
+func Bare() {
+	//lint:ignore
+	fail()
+}

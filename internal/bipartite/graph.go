@@ -147,7 +147,7 @@ func FromEdges(nx, ny int32, edges []Edge) (*Graph, error) {
 func MustFromEdges(nx, ny int32, edges []Edge) *Graph {
 	g, err := FromEdges(nx, ny, edges)
 	if err != nil {
-		panic(err)
+		panic(err) //lint:ignore err-checked Must* constructor: panicking on bad input is its documented contract
 	}
 	return g
 }

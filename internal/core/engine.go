@@ -92,7 +92,7 @@ func Run(g *bipartite.Graph, m *matching.Matching, opts Options) *matching.Stats
 	if err != nil {
 		// Background is never cancelled, so the only possible error is a
 		// contained worker panic; preserve Run's panicking contract.
-		panic(err)
+		panic(err) //lint:ignore err-checked re-raising a contained worker panic is Run's documented contract
 	}
 	return stats
 }

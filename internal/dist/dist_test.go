@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -224,5 +225,61 @@ func TestPartitionRangeYConsistency(t *testing.T) {
 	}
 	if covered != 31 {
 		t.Fatalf("covered %d", covered)
+	}
+}
+
+// TestRunCtxCompletes: with a live context RunCtx must match Run exactly —
+// maximum cardinality, Complete=true, nil error.
+func TestRunCtxCompletes(t *testing.T) {
+	g := gen.WebLike(9, 5, 0.35, 2)
+	ref := matching.New(g.NX(), g.NY())
+	hk.Run(g, ref)
+	m := matchinit.Greedy(g)
+	s, err := RunCtx(context.Background(), g, m, Options{Ranks: 4, Grafting: true})
+	if err != nil {
+		t.Fatalf("RunCtx: %v", err)
+	}
+	if !s.Complete {
+		t.Fatal("Complete=false on an uncancelled run")
+	}
+	if m.Cardinality() != ref.Cardinality() {
+		t.Fatalf("cardinality %d, want %d", m.Cardinality(), ref.Cardinality())
+	}
+}
+
+// TestRunCtxAlreadyCancelled: an expired context stops the engine at the
+// first superstep boundary; the gathered matching must still be a valid
+// matching no smaller than the initial one, with Complete=false.
+func TestRunCtxAlreadyCancelled(t *testing.T) {
+	g := gen.ER(200, 180, 800, 1)
+	m := matchinit.Greedy(g)
+	initial := m.Cardinality()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, err := RunCtx(ctx, g, m, Options{Ranks: 4, Grafting: true})
+	if err == nil {
+		t.Fatal("RunCtx returned nil error under a cancelled context")
+	}
+	if s.Complete {
+		t.Fatal("Complete=true on a cancelled run")
+	}
+	if err := m.Verify(g); err != nil {
+		t.Fatalf("partial matching invalid: %v", err)
+	}
+	if m.Cardinality() < initial {
+		t.Fatalf("cancellation shrank the matching: %d < %d", m.Cardinality(), initial)
+	}
+}
+
+// TestRunCtxNilContext: a nil context behaves as context.Background.
+func TestRunCtxNilContext(t *testing.T) {
+	g := bipartite.MustFromEdges(1, 1, []bipartite.Edge{{X: 0, Y: 0}})
+	m := matching.New(1, 1)
+	s, err := RunCtx(nil, g, m, Options{Ranks: 2}) //nolint:staticcheck // nil-tolerance is part of the contract under test
+	if err != nil || !s.Complete {
+		t.Fatalf("nil ctx: err=%v complete=%v", err, s.Complete)
+	}
+	if m.Cardinality() != 1 {
+		t.Fatalf("cardinality %d, want 1", m.Cardinality())
 	}
 }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"time"
 
 	"graftmatch/internal/bipartite"
@@ -157,6 +158,26 @@ func New(g *bipartite.Graph, opts Options) *Engine {
 // Run computes a maximum cardinality matching of g starting from m,
 // updating m in place, and returns the distributed execution statistics.
 func Run(g *bipartite.Graph, m *matching.Matching, opts Options) Stats {
+	stats, err := RunCtx(context.Background(), g, m, opts)
+	if err != nil {
+		// Background is never cancelled, so RunCtx cannot fail here;
+		// preserve the invariant loudly rather than return bogus stats.
+		panic(err) //lint:ignore err-checked unreachable guard: Background context cannot expire
+	}
+	return stats
+}
+
+// RunCtx is Run under a cancellation context, checked at superstep-safe
+// points: between BFS levels and at phase boundaries, where the scattered
+// mate arrays are consistent (augmentation walks are never interrupted
+// mid-flight). On expiry the partial matching gathered into m is valid and
+// contains everything matched at the last safe point — the monotonicity the
+// shared-memory engine also guarantees — and the returned stats have
+// Complete=false alongside the context's error.
+func RunCtx(ctx context.Context, g *bipartite.Graph, m *matching.Matching, opts Options) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e := New(g, opts)
 	e.stats.Stats = &matching.Stats{
 		Algorithm: "Dist-MS-BFS-Graft",
@@ -166,12 +187,12 @@ func Run(g *bipartite.Graph, m *matching.Matching, opts Options) Stats {
 	e.stats.InitialCardinality = m.Cardinality()
 	start := time.Now()
 	e.scatter(m)
-	e.run()
+	err := e.run(ctx)
 	e.gather(m)
 	e.stats.Runtime = time.Since(start)
 	e.stats.FinalCardinality = m.Cardinality()
-	e.stats.Complete = true
-	return e.stats
+	e.stats.Complete = err == nil
+	return e.stats, err
 }
 
 // scatter distributes the initial matching and resets per-rank state.
@@ -258,14 +279,19 @@ func (e *Engine) exchange() {
 	}
 }
 
-func (e *Engine) run() {
+func (e *Engine) run(ctx context.Context) error {
 	e.seedFromUnmatched()
 	for {
-		e.bfs()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := e.bfs(ctx); err != nil {
+			return err
+		}
 		paths := e.augment()
 		e.stats.Phases++
 		if paths == 0 {
-			return
+			return nil
 		}
 		e.graft()
 	}
@@ -298,8 +324,13 @@ func (e *Engine) frontierEmpty() bool {
 // bfs grows the alternating forest level-synchronously: an expand superstep
 // sends claims to Y owners, a claim superstep resolves ownership and routes
 // frontier additions and leaf discoveries, an apply superstep installs them.
-func (e *Engine) bfs() {
+// The context is polled between levels — forest state is partial there, but
+// the mate arrays are untouched, so stopping is always safe.
+func (e *Engine) bfs(ctx context.Context) error {
 	for !e.frontierEmpty() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		// Expand (top-down): offer every neighbor of active frontier
 		// vertices to its owner.
 		e.eachRank(func(r *rank) {
@@ -357,6 +388,7 @@ func (e *Engine) bfs() {
 		})
 		e.exchange()
 	}
+	return nil
 }
 
 // countEdges folds the expand superstep's traversal volume into the stats.

@@ -285,7 +285,7 @@ func Fig8(cfg Config) *Table {
 	cfg = cfg.defaults()
 	inst, ok := ByName(cfg.Scale, "coPapersDBLP")
 	if !ok {
-		panic("exps: coPapersDBLP missing from suite")
+		panic("exps: coPapersDBLP missing from suite") //lint:ignore err-checked experiment-driver invariant: the built-in suite always contains this instance
 	}
 	graft := RunTraced(AlgoGraft, inst.Graph, cfg.Threads)
 	plain := RunTraced(AlgoMSBFS, inst.Graph, cfg.Threads)

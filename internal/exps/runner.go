@@ -87,7 +87,7 @@ func runOn(algo Algo, g *bipartite.Graph, m *matching.Matching, p int) *matching
 	case AlgoSSDFS:
 		return ssdfs.Run(g, m)
 	default:
-		panic(fmt.Sprintf("exps: unknown algorithm %q", algo))
+		panic(fmt.Sprintf("exps: unknown algorithm %q", algo)) //lint:ignore err-checked experiment-driver invariant: algorithm names come from the fixed Algos table
 	}
 }
 

@@ -18,6 +18,10 @@ const reserved int32 = -2
 // match-then-cascade interleaving inside each worker.
 type pksWorker struct {
 	stack []int32
+	// Pad to one full cache line: the stack header is rewritten on every
+	// push/pop, and adjacent workers' headers in the workers slice must
+	// not share a line.
+	_ [40]byte
 }
 
 // ParallelKarpSipser computes a maximal matching with a shared-memory

@@ -40,7 +40,9 @@ type Options struct {
 func Run(g *bipartite.Graph, m *matching.Matching, p int) *matching.Stats {
 	stats, err := RunCtx(context.Background(), g, m, Options{Threads: p})
 	if err != nil {
-		panic(err) // Background is never cancelled: err is a worker panic
+		// Background is never cancelled: err is a contained worker panic,
+		// and re-raising it is Run's documented contract.
+		panic(err) //lint:ignore err-checked re-raising a contained worker panic is Run's documented contract
 	}
 	return stats
 }
@@ -134,12 +136,16 @@ func RunCtx(ctx context.Context, g *bipartite.Graph, m *matching.Matching, opts 
 	return stats, err
 }
 
-// dfsState is a worker-private iterative DFS stack.
+// dfsState is a worker-private iterative DFS stack. Workers mutate their
+// own state (stack headers, edge counter) on every step, so the struct is
+// padded to a whole number of cache lines: adjacent workers' states in the
+// workers slice must not share a line.
 type dfsState struct {
 	pathX []int32 // X vertices on the current path
 	pathY []int32 // chosen Y under each X
 	iter  []int64 // next adjacency offset per depth
 	edges int64
+	_     [48]byte // 80 B of fields + 48 B = two cache lines
 }
 
 func (st *dfsState) init(nx int) {

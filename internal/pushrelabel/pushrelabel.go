@@ -71,7 +71,9 @@ func (o Options) Defaults() Options {
 func Run(g *bipartite.Graph, m *matching.Matching, opts Options) *matching.Stats {
 	stats, err := RunCtx(context.Background(), g, m, opts)
 	if err != nil {
-		panic(err) // Background is never cancelled: err is a worker panic
+		// Background is never cancelled: err is a contained worker panic,
+		// and re-raising it is Run's documented contract.
+		panic(err) //lint:ignore err-checked re-raising a contained worker panic is Run's documented contract
 	}
 	return stats
 }

@@ -46,7 +46,10 @@ func (f *Frontier) PushBlock(vs []int32) {
 	end := f.n.Add(int64(len(vs)))
 	start := end - int64(len(vs))
 	if end > int64(len(f.buf)) {
-		panic("queue: frontier capacity exceeded")
+		// Capacity is a caller-proved bound (≤ one frontier entry per
+		// vertex per phase); exceeding it is memory-corrupting, so fail
+		// fast even on the hot path.
+		panic("queue: frontier capacity exceeded") //lint:ignore err-checked capacity assertion guards memory safety on the lock-free hot path
 	}
 	copy(f.buf[start:end], vs)
 }
@@ -56,7 +59,7 @@ func (f *Frontier) PushBlock(vs []int32) {
 func (f *Frontier) Push(v int32) {
 	i := f.n.Add(1) - 1
 	if i >= int64(len(f.buf)) {
-		panic("queue: frontier capacity exceeded")
+		panic("queue: frontier capacity exceeded") //lint:ignore err-checked capacity assertion guards memory safety on the lock-free hot path
 	}
 	f.buf[i] = v
 }
@@ -75,8 +78,11 @@ type Local struct {
 	dst *Frontier
 	buf [LocalCap]int32
 	n   int
-	// pad to keep adjacent Locals in a slice off the same cache line tail
-	_ [64]byte
+	// Pad the struct to a whole number of cache lines (4112 B of fields +
+	// 48 B = 65 lines) so adjacent Locals in the per-worker slice never
+	// split a line: the hot n/tail words of worker w and the dst/head of
+	// worker w+1 would otherwise ping-pong one line between cores.
+	_ [48]byte
 }
 
 // NewLocals returns p Locals all flushing into dst.
@@ -92,7 +98,7 @@ func NewLocals(p int, dst *Frontier) []Local {
 // frontier; the buffer must be empty.
 func (l *Local) Rebind(dst *Frontier) {
 	if l.n != 0 {
-		panic("queue: Rebind with buffered entries")
+		panic("queue: Rebind with buffered entries") //lint:ignore err-checked misuse assertion: rebinding a non-empty buffer silently drops vertices
 	}
 	l.dst = dst
 }
