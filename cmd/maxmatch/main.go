@@ -5,11 +5,19 @@
 //
 //	maxmatch [-algo msbfsgraft|pf|pr|hk|ssbfs|ssdfs|msbfs|diropt] [-threads N]
 //	         [-init ks|greedy|pgreedy|pks|none] [-timeout 30s] [-verify]
+//	         [-checkpoint-dir DIR] [-checkpoint-interval 5s] [-resume]
+//	         [-supervise] [-watchdog 30s] [-stall N]
 //	         [-stats] [-json] [-out matching.txt] file.{mtx,el,txt}[.gz]
+//
+// With -checkpoint-dir the run persists crash-safe snapshots of its state at
+// phase boundaries; -resume restarts from the newest valid snapshot for the
+// same graph (verifying it first) and falls back to a fresh start when the
+// directory is empty. -supervise (implied by -watchdog or -stall) runs the
+// computation under a watchdog with an engine degradation ladder.
 //
 // Exit status: 0 on success, 1 on error, 3 when -timeout expired and the
 // reported matching is a valid partial result rather than a certified
-// maximum.
+// maximum, 4 when -resume found only corrupt or wrong-graph checkpoints.
 package main
 
 import (
@@ -29,6 +37,12 @@ import (
 // errPartial signals a degraded (timeout-bounded) run: the matching printed
 // is valid and resumable but not certified maximum. Mapped to exit status 3.
 var errPartial = errors.New("timeout reached: matching is partial (valid and resumable), not certified maximum")
+
+// errCheckpoint signals that -resume found checkpoints but none could be
+// used: every snapshot was corrupt or belongs to a different graph. Mapped
+// to exit status 4 so callers can distinguish "recompute from scratch is the
+// only option" from an ordinary failure.
+var errCheckpoint = errors.New("checkpoint unusable")
 
 var algoByName = map[string]graftmatch.Algorithm{
 	"msbfsgraft": graftmatch.MSBFSGraft,
@@ -52,8 +66,11 @@ var initByName = map[string]graftmatch.Initializer{
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "maxmatch:", err)
-		if errors.Is(err, errPartial) {
+		switch {
+		case errors.Is(err, errPartial):
 			os.Exit(3)
+		case errors.Is(err, errCheckpoint):
+			os.Exit(4)
 		}
 		os.Exit(1)
 	}
@@ -71,6 +88,13 @@ func run(args []string) error {
 	outPath := fs.String("out", "", "write the matching (1-based \"row col\" pairs) to this file")
 	jsonOut := fs.Bool("json", false, "print the result summary as JSON")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the exact algorithm (0 = unlimited); on expiry the valid partial matching is reported and the exit status is 3")
+	ckptDir := fs.String("checkpoint-dir", "", "persist crash-safe snapshots of run state into this directory")
+	ckptInterval := fs.Duration("checkpoint-interval", 0, "minimum time between snapshots (0 = every phase boundary)")
+	ckptKeep := fs.Int("checkpoint-keep", 0, "snapshots retained in -checkpoint-dir (0 = 3)")
+	resume := fs.Bool("resume", false, "restart from the newest valid snapshot in -checkpoint-dir (fresh start if none)")
+	superviseFlag := fs.Bool("supervise", false, "run under a supervisor with an engine degradation ladder")
+	watchdog := fs.Duration("watchdog", 0, "supervisor watchdog: degrade engines after this long without a completed phase (implies -supervise)")
+	stall := fs.Int("stall", 0, "supervisor stall detection: degrade after N phases without cardinality growth (implies -supervise)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,9 +125,55 @@ func run(args []string) error {
 	if *timeout > 0 {
 		opts.Deadline = time.Now().Add(*timeout)
 	}
-	res, err := graftmatch.Match(g, opts)
+	if *ckptDir != "" {
+		opts.Checkpoint = &graftmatch.CheckpointOptions{
+			Dir:      *ckptDir,
+			Interval: *ckptInterval,
+			Keep:     *ckptKeep,
+		}
+	}
+	if *superviseFlag || *watchdog > 0 || *stall > 0 {
+		opts.Supervise = &graftmatch.SuperviseOptions{
+			PhaseTimeout: *watchdog,
+			StallPhases:  *stall,
+		}
+	}
+
+	var resumeState *graftmatch.CheckpointState
+	if *resume {
+		if *ckptDir == "" {
+			return fmt.Errorf("-resume requires -checkpoint-dir")
+		}
+		st, err := graftmatch.LoadCheckpoint(g, *ckptDir)
+		switch {
+		case errors.Is(err, graftmatch.ErrNoCheckpoint):
+			fmt.Printf("resume: no checkpoint in %s, starting fresh\n", *ckptDir)
+		case err != nil:
+			return fmt.Errorf("%w: %v", errCheckpoint, err)
+		default:
+			// LoadCheckpoint validates structurally; re-verify against the
+			// graph here so a resumed run never continues from mates that
+			// are not edges.
+			if verr := graftmatch.VerifyMatching(g, st.MateX, st.MateY); verr != nil {
+				return fmt.Errorf("%w: restored matching failed verification: %v", errCheckpoint, verr)
+			}
+			fmt.Printf("resumed from %s: engine %s, phase %d, |M|=%d\n",
+				st.Path, st.Engine, st.Phase, st.Cardinality)
+			resumeState = st
+		}
+	}
+
+	var res *graftmatch.Result
+	if resumeState != nil {
+		res, err = graftmatch.ResumeMatch(g, resumeState.MateX, resumeState.MateY, opts)
+	} else {
+		res, err = graftmatch.Match(g, opts)
+	}
 	if err != nil {
 		return err
+	}
+	if res.CheckpointErr != nil {
+		fmt.Fprintf(os.Stderr, "maxmatch: warning: checkpointing failed: %v\n", res.CheckpointErr)
 	}
 	if *outPath != "" {
 		if err := writeMatching(*outPath, res.MateX); err != nil {
@@ -130,6 +200,15 @@ func run(args []string) error {
 			fmt.Printf("augmenting paths: %d (avg length %.2f)\n", res.Stats.AugPaths, res.Stats.AvgAugPathLen())
 			if res.Stats.Grafts+res.Stats.Rebuilds > 0 {
 				fmt.Printf("grafted phases: %d, rebuilt phases: %d\n", res.Stats.Grafts, res.Stats.Rebuilds)
+			}
+			if res.Supervision != nil {
+				for _, r := range res.Supervision.Rungs {
+					fmt.Printf("supervision: %s attempt %d -> %s (phases=%d, |M|=%d)\n",
+						r.Engine, r.Attempt, r.Outcome, r.Phases, r.Cardinality)
+				}
+			}
+			if res.CheckpointPath != "" {
+				fmt.Printf("checkpoint: %s\n", res.CheckpointPath)
 			}
 		}
 		if *verify {

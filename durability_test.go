@@ -1,0 +1,312 @@
+package graftmatch
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"graftmatch/internal/checkpoint"
+	"graftmatch/internal/core"
+	"graftmatch/internal/gen"
+)
+
+// TestCheckpointEmissionAndResume: a run with checkpointing cancelled
+// mid-computation must leave a loadable snapshot on disk, and resuming from
+// it must reach the same maximum cardinality as an uninterrupted run.
+func TestCheckpointEmissionAndResume(t *testing.T) {
+	g := gen.ER(500, 500, 1500, 3)
+	want, err := Match(g, Options{Initializer: NoInit})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := MatchContext(ctx, g, Options{
+		Initializer: NoInit,
+		Checkpoint:  &CheckpointOptions{Dir: dir},
+		OnPhase: func(phase, card int64) {
+			if phase == 2 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CheckpointErr != nil {
+		t.Fatalf("checkpoint write failed: %v", res.CheckpointErr)
+	}
+	if res.CheckpointPath == "" {
+		t.Fatal("no checkpoint path on a checkpointed run")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpts int
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".ckpt" {
+			ckpts++
+		}
+	}
+	if ckpts == 0 {
+		t.Fatal("no snapshot files emitted")
+	}
+
+	st, err := LoadCheckpoint(g, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMatching(g, st.MateX, st.MateY); err != nil {
+		t.Fatalf("restored matching invalid: %v", err)
+	}
+	resumed, err := ResumeMatch(g, st.MateX, st.MateY, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Complete || resumed.Cardinality != want.Cardinality {
+		t.Fatalf("resumed to %d (complete=%v), want %d",
+			resumed.Cardinality, resumed.Complete, want.Cardinality)
+	}
+}
+
+// TestCheckpointFinalSnapshotOnCompletion: a run allowed to finish writes a
+// final snapshot whose cardinality is the maximum, restorable even for
+// serial engines that report no phases.
+func TestCheckpointFinalSnapshotOnCompletion(t *testing.T) {
+	g := gen.ER(200, 200, 800, 5)
+	for _, algo := range []Algorithm{MSBFSGraft, HopcroftKarp} {
+		dir := t.TempDir()
+		res, err := Match(g, Options{Algorithm: algo, Checkpoint: &CheckpointOptions{Dir: dir}})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if res.CheckpointErr != nil {
+			t.Fatalf("%v: %v", algo, res.CheckpointErr)
+		}
+		st, err := LoadCheckpoint(g, dir)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if st.Cardinality != res.Cardinality {
+			t.Fatalf("%v: snapshot |M|=%d, run |M|=%d", algo, st.Cardinality, res.Cardinality)
+		}
+		if st.Engine != algo.String() {
+			t.Fatalf("%v: snapshot engine %q", algo, st.Engine)
+		}
+	}
+}
+
+// TestCheckpointKeepBound: retention pruning holds the snapshot count at
+// CheckpointOptions.Keep.
+func TestCheckpointKeepBound(t *testing.T) {
+	g := gen.ER(500, 500, 1500, 3)
+	dir := t.TempDir()
+	if _, err := Match(g, Options{
+		Initializer: NoInit,
+		Checkpoint:  &CheckpointOptions{Dir: dir, Keep: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpts int
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".ckpt" {
+			ckpts++
+		}
+	}
+	if ckpts > 2 {
+		t.Fatalf("%d snapshots retained, want <= 2", ckpts)
+	}
+}
+
+// TestLoadCheckpointErrors: an empty directory is ErrNoCheckpoint (start
+// fresh); a snapshot of a different graph is a typed mismatch, not silence.
+func TestLoadCheckpointErrors(t *testing.T) {
+	g := gen.ER(100, 100, 400, 1)
+	if _, err := LoadCheckpoint(g, t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir: got %v, want ErrNoCheckpoint", err)
+	}
+	if _, err := LoadCheckpoint(nil, t.TempDir()); err == nil {
+		t.Fatal("nil graph: want error")
+	}
+
+	// Checkpoint one graph, try to restore onto another.
+	dir := t.TempDir()
+	if _, err := Match(g, Options{Checkpoint: &CheckpointOptions{Dir: dir}}); err != nil {
+		t.Fatal(err)
+	}
+	other := gen.ER(100, 100, 400, 2)
+	var me *checkpoint.MismatchError
+	if _, err := LoadCheckpoint(other, dir); !errors.As(err, &me) {
+		t.Fatalf("wrong graph: got %v, want *MismatchError", err)
+	}
+}
+
+// TestSupervisedMatchesUnsupervised: on a healthy instance the supervisor is
+// invisible — same cardinality, first rung completes.
+func TestSupervisedMatchesUnsupervised(t *testing.T) {
+	g := gen.ER(500, 500, 1500, 3)
+	want, err := Match(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Match(g, Options{Supervise: &SuperviseOptions{
+		PhaseTimeout: time.Minute,
+		StallPhases:  50,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.Cardinality != want.Cardinality {
+		t.Fatalf("supervised |M|=%d complete=%v, want %d", res.Cardinality, res.Complete, want.Cardinality)
+	}
+	if err := VerifyMaximum(g, res.MateX, res.MateY); err != nil {
+		t.Fatal(err)
+	}
+	sup := res.Supervision
+	if sup == nil || sup.Engine != "MS-BFS-Graft" || len(sup.Rungs) != 1 {
+		t.Fatalf("supervision report = %+v, want single MS-BFS-Graft completion", sup)
+	}
+	if sup.Rungs[0].Outcome != "completed" {
+		t.Fatalf("rung outcome %q, want completed", sup.Rungs[0].Outcome)
+	}
+}
+
+// TestSupervisedFallbackOnEngineFault: the first rung's workers panic; the
+// supervisor must degrade to Pothen–Fan and still deliver the maximum
+// matching, recording the errored rung.
+func TestSupervisedFallbackOnEngineFault(t *testing.T) {
+	core.TestHookWorkerFault = func(worker int) {
+		panic("injected worker fault")
+	}
+	defer func() { core.TestHookWorkerFault = nil }()
+
+	g := gen.ER(400, 400, 1600, 9)
+	want, err := Match(g, Options{Algorithm: PothenFan, Initializer: NoInit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threads > 1 so the parallel top-down path (where the hook lives) runs
+	// even on single-core machines.
+	res, err := Match(g, Options{Initializer: NoInit, Threads: 4, Supervise: &SuperviseOptions{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.Cardinality != want.Cardinality {
+		t.Fatalf("supervised |M|=%d complete=%v, want %d", res.Cardinality, res.Complete, want.Cardinality)
+	}
+	sup := res.Supervision
+	if sup == nil || len(sup.Rungs) < 2 {
+		t.Fatalf("supervision report = %+v, want a fallback after the fault", sup)
+	}
+	if sup.Rungs[0].Outcome != "errored" || sup.Rungs[0].Err == "" {
+		t.Fatalf("rung 0 = %+v, want errored MS-BFS-Graft", sup.Rungs[0])
+	}
+	if sup.Engine != "PF" {
+		t.Fatalf("completing engine %q, want PF", sup.Engine)
+	}
+}
+
+// TestSupervisedAllEnginesFail: when every rung hard-fails the error
+// surfaces instead of a bogus result.
+func TestSupervisedAllEnginesFail(t *testing.T) {
+	core.TestHookWorkerFault = func(worker int) {
+		panic("injected worker fault")
+	}
+	defer func() { core.TestHookWorkerFault = nil }()
+
+	g := gen.ER(200, 200, 800, 9)
+	// A ladder of MS-BFS variants only — all hit the injected fault.
+	_, err := Match(g, Options{Initializer: NoInit, Threads: 4, Supervise: &SuperviseOptions{
+		Ladder: []Algorithm{MSBFSGraft, MSBFS},
+	}})
+	if err == nil {
+		t.Fatal("want error when every rung fails")
+	}
+}
+
+// TestSupervisedDeadlinePartial: the deadline governs the whole supervised
+// run and yields the usual partial-result semantics.
+func TestSupervisedDeadlinePartial(t *testing.T) {
+	g := gen.ER(200, 200, 800, 5)
+	res, err := Match(g, Options{
+		Deadline:  time.Now().Add(-time.Hour),
+		Supervise: &SuperviseOptions{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("expired deadline produced a complete supervised result")
+	}
+	if err := VerifyMatching(g, res.MateX, res.MateY); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSupervisedWithCheckpointing: snapshots ride the supervisor's observe
+// hook; the final state on disk matches the returned result.
+func TestSupervisedWithCheckpointing(t *testing.T) {
+	g := gen.ER(500, 500, 1500, 3)
+	dir := t.TempDir()
+	res, err := Match(g, Options{
+		Initializer: NoInit,
+		Checkpoint:  &CheckpointOptions{Dir: dir},
+		Supervise:   &SuperviseOptions{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CheckpointErr != nil {
+		t.Fatal(res.CheckpointErr)
+	}
+	st, err := LoadCheckpoint(g, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cardinality != res.Cardinality {
+		t.Fatalf("snapshot |M|=%d, result |M|=%d", st.Cardinality, res.Cardinality)
+	}
+	resumed, err := ResumeMatch(g, st.MateX, st.MateY, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Cardinality != res.Cardinality {
+		t.Fatalf("resume from final snapshot moved |M| %d -> %d", st.Cardinality, resumed.Cardinality)
+	}
+}
+
+// TestCheckpointWriteFailureDoesNotAbort: an unwritable checkpoint dir is
+// reported via CheckpointErr while the computation still completes.
+func TestCheckpointWriteFailureDoesNotAbort(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	parent := t.TempDir()
+	if err := os.Chmod(parent, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.Chmod(parent, 0o755) })
+	g := gen.ER(200, 200, 800, 5)
+	res, err := Match(g, Options{
+		Checkpoint: &CheckpointOptions{Dir: filepath.Join(parent, "ck")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("run did not complete despite checkpoint failure being best-effort")
+	}
+	if res.CheckpointErr == nil {
+		t.Fatal("unwritable dir not reported via CheckpointErr")
+	}
+}

@@ -184,6 +184,18 @@ type Options struct {
 	// valid matching at each call; cancelling the MatchContext context from
 	// the hook stops the run at that boundary. Serial algorithms ignore it.
 	OnPhase func(phase, cardinality int64)
+
+	// Checkpoint, when non-nil, persists crash-safe snapshots of the run
+	// state at phase boundaries, so a killed process can restart from disk
+	// with LoadCheckpoint + ResumeMatch instead of recomputing. Snapshot
+	// failures never abort the run; see Result.CheckpointErr.
+	Checkpoint *CheckpointOptions
+
+	// Supervise, when non-nil, runs the computation under a supervisor
+	// with a per-phase watchdog, stall detection, and a graceful
+	// degradation ladder of fallback engines, each seeded with the best
+	// matching reached so far. See SuperviseOptions.
+	Supervise *SuperviseOptions
 }
 
 // Result is the outcome of Match.
@@ -205,6 +217,17 @@ type Result struct {
 	// Stats holds the run metrics of the exact algorithm (not including
 	// the initializer).
 	Stats *Stats
+
+	// CheckpointPath is the newest snapshot written when
+	// Options.Checkpoint was set; CheckpointErr records the first snapshot
+	// write failure. Checkpointing is best-effort: a write failure is
+	// reported here, never by aborting the run.
+	CheckpointPath string
+	CheckpointErr  error
+
+	// Supervision reports the engine ladder when Options.Supervise was
+	// set: every rung attempted, its outcome, and which engine completed.
+	Supervision *SupervisionReport
 }
 
 // Match computes a maximum cardinality matching of g. It is
@@ -242,7 +265,7 @@ func MatchContext(ctx context.Context, g *Graph, opts Options) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	return finishMatch(ctx, g, m, opts)
+	return runMatch(ctx, g, m, opts)
 }
 
 // finishMatch dispatches the exact algorithm on an already-initialized
@@ -399,5 +422,5 @@ func ResumeMatchContext(ctx context.Context, g *Graph, mateX, mateY []int32, opt
 		return nil, fmt.Errorf("graftmatch: invalid initial matching: %w", err)
 	}
 	opts.Initializer = NoInit // the provided matching replaces the initializer
-	return finishMatch(ctx, g, m, opts)
+	return runMatch(ctx, g, m, opts)
 }

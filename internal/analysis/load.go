@@ -67,7 +67,7 @@ func DefaultConfig() Config {
 	return Config{
 		CtxPackages: []string{
 			"internal/par", "internal/core", "internal/pf",
-			"internal/pushrelabel", "internal/dist",
+			"internal/pushrelabel", "internal/dist", "internal/supervise",
 		},
 		PanicPackages: []string{"internal/par"},
 	}

@@ -1,0 +1,124 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// checkOutcome asserts the crash-consistency contract for one damaged
+// variant of an encoded snapshot: Decode either returns a structurally valid
+// snapshot (range-checked, symmetric, cardinality-consistent — enforced by
+// Decode itself) or a typed *CorruptError. It must never panic and never
+// return an undetected-invalid snapshot; validateMates re-runs here as an
+// independent witness.
+func checkOutcome(t *testing.T, label string, data []byte) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: Decode panicked: %v", label, r)
+		}
+	}()
+	s, err := Decode(data)
+	if err != nil {
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: got untyped error %v, want *CorruptError", label, err)
+		}
+		return
+	}
+	if err := validateMates(s); err != nil {
+		t.Fatalf("%s: Decode accepted an invalid matching: %v", label, err)
+	}
+}
+
+// TestCorruptionTruncateEveryOffset feeds Decode every prefix of a valid
+// snapshot: all must be rejected (no prefix can pass the trailing CRC).
+func TestCorruptionTruncateEveryOffset(t *testing.T) {
+	data, err := Encode(testSnapshot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n++ {
+		checkOutcome(t, "truncate", data[:n])
+		if _, err := Decode(data[:n]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes was accepted", n, len(data))
+		}
+	}
+}
+
+// TestCorruptionBitFlipEveryOffset flips each bit of every byte of a valid
+// snapshot. CRC32 detects every single-bit error, so each variant must be
+// rejected with a typed error — and must never panic or yield an invalid
+// matching.
+func TestCorruptionBitFlipEveryOffset(t *testing.T) {
+	data, err := Encode(testSnapshot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := make([]byte, len(data))
+	for off := 0; off < len(data); off++ {
+		for bit := 0; bit < 8; bit++ {
+			copy(mut, data)
+			mut[off] ^= 1 << bit
+			checkOutcome(t, "bitflip", mut)
+			if _, err := Decode(mut); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d was accepted", off, bit)
+			}
+		}
+	}
+}
+
+// TestCorruptionGarbage drives Decode over byte soup: empty input, random
+// junk, short files, and magic-prefixed junk.
+func TestCorruptionGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0x47},
+		[]byte("GMCK"),
+		[]byte("GMCK\x01\x00\x00\x00"),
+		[]byte("not a checkpoint at all, just text"),
+		make([]byte, 4096), // zeros
+	}
+	for i, data := range cases {
+		checkOutcome(t, "garbage", data)
+		if _, err := Decode(data); err == nil {
+			t.Fatalf("garbage case %d was accepted", i)
+		}
+	}
+}
+
+// TestCorruptionOnDisk exercises the same contract through the file layer:
+// a truncated file on disk loads as *CorruptError with the path filled in,
+// and LoadLatest still finds the surviving good snapshot next to it.
+func TestCorruptionOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	s := testSnapshot(t)
+	goodPath, err := Save(dir, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(goodPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badPath := filepath.Join(dir, "ck-99999999999999999999.ckpt")
+	if err := os.WriteFile(badPath, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ce *CorruptError
+	if _, err := Load(badPath); !errors.As(err, &ce) {
+		t.Fatalf("got %v, want *CorruptError", err)
+	} else if ce.Path != badPath {
+		t.Fatalf("CorruptError.Path = %q, want %q", ce.Path, badPath)
+	}
+	got, path, err := LoadLatest(dir, s.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != goodPath || got.Cardinality != s.Cardinality {
+		t.Fatalf("LoadLatest = (%s, %d), want (%s, %d)", path, got.Cardinality, goodPath, s.Cardinality)
+	}
+}

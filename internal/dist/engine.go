@@ -279,10 +279,23 @@ func (e *Engine) exchange() {
 	}
 }
 
+// netErr surfaces a tripped transport outage (Faults.FailAfterTimeouts).
+// Polled at the same safe points as the context — never mid-augmentation —
+// so the gathered matching is always consistent when it fires.
+func (e *Engine) netErr() error {
+	if e.tr != nil && e.tr.failed {
+		return &TransientError{Timeouts: e.stats.Faults.Timeouts}
+	}
+	return nil
+}
+
 func (e *Engine) run(ctx context.Context) error {
 	e.seedFromUnmatched()
 	for {
 		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := e.netErr(); err != nil {
 			return err
 		}
 		if err := e.bfs(ctx); err != nil {
@@ -329,6 +342,9 @@ func (e *Engine) frontierEmpty() bool {
 func (e *Engine) bfs(ctx context.Context) error {
 	for !e.frontierEmpty() {
 		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := e.netErr(); err != nil {
 			return err
 		}
 		// Expand (top-down): offer every neighbor of active frontier

@@ -1,6 +1,9 @@
 package dist
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // Faults configures deterministic fault injection on the simulated network.
 // Point-to-point messages may be dropped, duplicated, or delayed by rank
@@ -41,6 +44,14 @@ type Faults struct {
 	// undelivered message escalates at once (a superstep timeout);
 	// 0 means 64.
 	TimeoutRounds int
+
+	// FailAfterTimeouts, when > 0, declares the network transiently down
+	// once that many superstep timeouts have accumulated. The superstep in
+	// flight still completes reliably — state on every rank stays
+	// consistent — and the engine then surfaces a *TransientError at its
+	// next cancellation-safe point instead of computing on. A retry (e.g.
+	// supervise.Retry) resumes from the gathered partial matching.
+	FailAfterTimeouts int
 }
 
 func (f Faults) withDefaults() Faults {
@@ -55,6 +66,22 @@ func (f Faults) withDefaults() Faults {
 
 // maxBackoff caps the exponential retransmit backoff, in delivery rounds.
 const maxBackoff = 16
+
+// TransientError is the engine's report of a simulated network outage
+// (Faults.FailAfterTimeouts reached). It marks itself transient so a
+// supervisor retries the run in place rather than degrading engines; the
+// matching gathered alongside it is a valid partial state to retry from.
+type TransientError struct {
+	// Timeouts is the superstep-timeout count that tripped the outage.
+	Timeouts int64
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("dist: transient network failure after %d superstep timeouts", e.Timeouts)
+}
+
+// Transient marks the error retryable (see supervise.Transient).
+func (e *TransientError) Transient() bool { return true }
 
 // FaultStats counts the injected faults and the recovery work they caused.
 type FaultStats struct {
@@ -87,6 +114,11 @@ type transport struct {
 	faults Faults
 	rng    *rand.Rand
 	fstats *FaultStats
+
+	// failed is set once FailAfterTimeouts trips; the transport keeps
+	// delivering reliably so the in-flight superstep completes, and the
+	// engine polls this flag at its safe points.
+	failed bool
 }
 
 func newTransport(f Faults, fs *FaultStats) *transport {
@@ -136,6 +168,9 @@ func (t *transport) deliver(ranks []*rank) {
 		escalate := round > t.faults.TimeoutRounds
 		if escalate && round == t.faults.TimeoutRounds+1 {
 			t.fstats.Timeouts++
+			if t.faults.FailAfterTimeouts > 0 && t.fstats.Timeouts >= int64(t.faults.FailAfterTimeouts) {
+				t.failed = true // flag only: this superstep still completes
+			}
 		}
 		for i := range stalled {
 			stalled[i] = !escalate && t.rng.Float64() < t.faults.Stall

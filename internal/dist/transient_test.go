@@ -1,0 +1,103 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"graftmatch/internal/gen"
+	"graftmatch/internal/hk"
+	"graftmatch/internal/matching"
+	"graftmatch/internal/matchinit"
+	"graftmatch/internal/supervise"
+)
+
+// transientFaults trips an outage fast: every unreliable transmission drops,
+// each superstep times out after one round, and the second timeout fails
+// the network.
+func transientFaults(seed int64) *Faults {
+	return &Faults{Seed: seed, Drop: 1.0, MaxRetries: 50, TimeoutRounds: 1, FailAfterTimeouts: 2}
+}
+
+// TestTransientFailureSurfaces: FailAfterTimeouts must abort the run with a
+// typed, transient-marked error — and the matching gathered alongside it
+// must still be a valid (partial) matching, never a torn mid-augmentation
+// state.
+func TestTransientFailureSurfaces(t *testing.T) {
+	g := gen.ER(200, 200, 800, 9)
+	m := matchinit.Greedy(g)
+	initial := m.Cardinality()
+	s, err := RunCtx(context.Background(), g, m, Options{Ranks: 4, Grafting: true, Faults: transientFaults(6)})
+	var te *TransientError
+	if !errors.As(err, &te) {
+		t.Fatalf("got %v, want *TransientError", err)
+	}
+	if !supervise.IsTransient(err) {
+		t.Fatal("TransientError not recognized by supervise.IsTransient")
+	}
+	if te.Timeouts < 2 {
+		t.Fatalf("error reports %d timeouts, want >= FailAfterTimeouts", te.Timeouts)
+	}
+	if s.Complete {
+		t.Fatal("failed run marked complete")
+	}
+	if err := m.Verify(g); err != nil {
+		t.Fatalf("partial matching after outage is invalid: %v", err)
+	}
+	if m.Cardinality() < initial {
+		t.Fatalf("outage lost matched edges: %d < initial %d", m.Cardinality(), initial)
+	}
+}
+
+// TestTransientRetryCompletes drives RunCtx under supervise.Retry: the first
+// attempts hit the outage, the network "heals" (injection removed), and the
+// retried run — seeded with the partial matching the failed attempts left
+// behind — must converge to the same maximum cardinality as a clean solver.
+func TestTransientRetryCompletes(t *testing.T) {
+	g := gen.ER(200, 200, 800, 9)
+	ref := matching.New(g.NX(), g.NY())
+	hk.Run(g, ref)
+
+	m := matchinit.Greedy(g)
+	attempts := 0
+	err := supervise.Retry(context.Background(), supervise.Backoff{Attempts: 5, Base: 1},
+		func(ctx context.Context) error {
+			attempts++
+			opts := Options{Ranks: 4, Grafting: true}
+			if attempts <= 2 {
+				opts.Faults = transientFaults(int64(attempts))
+			}
+			_, err := RunCtx(ctx, g, m, opts)
+			return err
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 2 outages + 1 success", attempts)
+	}
+	if err := matching.VerifyMaximum(g, m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cardinality() != ref.Cardinality() {
+		t.Fatalf("cardinality %d, want %d", m.Cardinality(), ref.Cardinality())
+	}
+}
+
+// TestTransientDisabledByDefault: fault injection without FailAfterTimeouts
+// must behave exactly as before — timeouts escalate, the run completes.
+func TestTransientDisabledByDefault(t *testing.T) {
+	g := gen.ER(120, 120, 500, 9)
+	m := matchinit.Greedy(g)
+	s, err := RunCtx(context.Background(), g, m,
+		Options{Ranks: 4, Grafting: true, Faults: &Faults{Seed: 6, Drop: 0.9, MaxRetries: 50, TimeoutRounds: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Faults.Timeouts == 0 {
+		t.Fatalf("expected superstep timeouts: %+v", *s.Faults)
+	}
+	if err := matching.VerifyMaximum(g, m); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,9 +15,19 @@ import (
 // ReadEdgeList parses a whitespace-separated edge list with 0-based vertex
 // ids ("x y" per line, '#' or '%' comments allowed). Part sizes are
 // inferred as max id + 1 unless a header line "# nx ny" appears first.
+// Default Limits apply; use ReadEdgeListLimited to tighten them.
 func ReadEdgeList(r io.Reader) (*bipartite.Graph, error) {
+	return ReadEdgeListLimited(r, Limits{})
+}
+
+// ReadEdgeListLimited is ReadEdgeList with explicit parse limits, checked
+// against the declared header and against every id and accumulated edge as
+// it streams in.
+func ReadEdgeListLimited(r io.Reader, lim Limits) (*bipartite.Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	maxDim := int64(lim.maxDim())
+	maxEntries := lim.maxEntries()
 	var edges []bipartite.Edge
 	var nx, ny int32
 	declared := false
@@ -33,6 +43,9 @@ func ReadEdgeList(r io.Reader) (*bipartite.Graph, error) {
 				a, errA := strconv.ParseInt(f[0], 10, 32)
 				b, errB := strconv.ParseInt(f[1], 10, 32)
 				if errA == nil && errB == nil && a >= 0 && b >= 0 {
+					if err := lim.checkDims(a, b); err != nil {
+						return nil, err
+					}
 					nx, ny = int32(a), int32(b)
 					declared = true
 				}
@@ -50,6 +63,13 @@ func ReadEdgeList(r io.Reader) (*bipartite.Graph, error) {
 		y, err := strconv.ParseInt(f[1], 10, 32)
 		if err != nil || y < 0 {
 			return nil, fmt.Errorf("mmio: bad Y id %q", f[1])
+		}
+		// Ids are 0-based, so id+1 vertices must fit the dimension limit.
+		if x >= maxDim || y >= maxDim {
+			return nil, fmt.Errorf("mmio: vertex id (%d,%d) exceeds dimension limit %d", x, y, maxDim)
+		}
+		if int64(len(edges)) >= maxEntries {
+			return nil, fmt.Errorf("mmio: entry count exceeds limit %d", maxEntries)
 		}
 		edges = append(edges, bipartite.Edge{X: int32(x), Y: int32(y)})
 		if !declared {

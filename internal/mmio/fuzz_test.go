@@ -7,6 +7,11 @@ import (
 	"graftmatch/internal/bipartite"
 )
 
+// fuzzLimits keeps fuzzing cheap: hostile headers declaring huge dimensions
+// or entry counts must be rejected before allocation, so the fuzzer probes
+// parser logic instead of the allocator.
+var fuzzLimits = Limits{MaxDim: 1 << 20, MaxEntries: 1 << 22}
+
 // FuzzRead ensures the Matrix Market parser never panics and that any
 // successfully parsed graph passes full structural validation. Run with
 // `go test -fuzz=FuzzRead ./internal/mmio` for continuous fuzzing; the seed
@@ -22,12 +27,20 @@ func FuzzRead(f *testing.F) {
 		"garbage",
 		"%%MatrixMarket matrix coordinate pattern general\n-1 2 1\n1 1\n",
 		"%%MatrixMarket matrix coordinate pattern general\n999999999999 2 1\n1 1\n",
+		// Regression seeds: headers that once drove allocation from untrusted
+		// declared sizes. A lying nnz must not reserve terabytes, huge
+		// dimensions must not materialize multi-gigabyte CSR arrays, and
+		// symmetric doubling must not overflow the entry budget.
+		"%%MatrixMarket matrix coordinate pattern general\n2 2 987654321987\n1 1\n",
+		"%%MatrixMarket matrix coordinate pattern general\n2000000000 2000000000 1\n1 1\n",
+		"%%MatrixMarket matrix coordinate pattern symmetric\n3 3 9223372036854775807\n1 1\n",
+		"%%MatrixMarket matrix coordinate integer general\n2147483647 1 1\n1 1 7\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, in string) {
-		g, err := Read(strings.NewReader(in))
+		g, err := ReadLimited(strings.NewReader(in), fuzzLimits)
 		if err != nil {
 			return
 		}
@@ -47,12 +60,16 @@ func FuzzReadEdgeList(f *testing.F) {
 		"0\n",
 		"-1 -1\n",
 		"99999999999999999999 0\n",
+		// Regression seeds: declared or inferred sizes past the limits.
+		"# 2000000000 2000000000\n0 0\n",
+		"2000000000 0\n",
+		"0 2147483646\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, in string) {
-		g, err := ReadEdgeList(strings.NewReader(in))
+		g, err := ReadEdgeListLimited(strings.NewReader(in), fuzzLimits)
 		if err != nil {
 			return
 		}

@@ -1,0 +1,66 @@
+package mmio
+
+import "fmt"
+
+// Default bounds applied when a Limits field is zero. They admit any
+// realistic instance (billions of entries) while rejecting headers that
+// declare sizes no machine could hold.
+const (
+	DefaultMaxDim     int32 = 1<<31 - 2
+	DefaultMaxEntries int64 = 1 << 34
+)
+
+// reserveCap bounds the speculative pre-allocation derived from a declared
+// entry count: a lying header must not force a large allocation before any
+// entries have actually been read. Real entries still grow the edge list
+// incrementally, so memory tracks the bytes actually consumed.
+const reserveCap = 1 << 20
+
+// Limits bounds what the parsers accept, checked before any size-dependent
+// allocation so hostile headers (huge declared dimensions or entry counts)
+// fail fast instead of exhausting memory. The zero value applies the
+// package defaults.
+type Limits struct {
+	// MaxDim caps rows and columns (each side of the bipartite graph);
+	// 0 means DefaultMaxDim.
+	MaxDim int32
+
+	// MaxEntries caps the number of entries, counted after symmetry
+	// expansion; 0 means DefaultMaxEntries.
+	MaxEntries int64
+}
+
+func (l Limits) maxDim() int32 {
+	if l.MaxDim > 0 {
+		return l.MaxDim
+	}
+	return DefaultMaxDim
+}
+
+func (l Limits) maxEntries() int64 {
+	if l.MaxEntries > 0 {
+		return l.MaxEntries
+	}
+	return DefaultMaxEntries
+}
+
+// checkDims rejects declared part sizes beyond the limit. The parsers have
+// already bounds-checked n1 and n2 into int32, so this is the policy layer,
+// not the overflow guard.
+func (l Limits) checkDims(n1, n2 int64) error {
+	if max := int64(l.maxDim()); n1 > max || n2 > max {
+		return fmt.Errorf("mmio: dimensions %dx%d exceed limit %d", n1, n2, max)
+	}
+	return nil
+}
+
+// checkEntries rejects a declared or accumulated entry count beyond the
+// limit. doubled marks symmetric expansion, where every off-diagonal entry
+// becomes two edges; the comparison is arranged so 2*nnz can never overflow.
+func (l Limits) checkEntries(nnz int64, doubled bool) error {
+	max := l.maxEntries()
+	if nnz > max || (doubled && nnz > max/2) {
+		return fmt.Errorf("mmio: entry count %d exceeds limit %d", nnz, max)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package mmio
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReadRejectsHugeDeclaredNnz(t *testing.T) {
+	// 987654321987 entries would reserve ~8 TB if the header were trusted.
+	in := "%%MatrixMarket matrix coordinate pattern general\n2 2 987654321987\n1 1\n"
+	start := time.Now()
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Fatal("huge declared nnz accepted")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("rejection took %v; limit must trip before allocation", elapsed)
+	}
+}
+
+func TestReadRejectsDimsOverLimit(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate pattern general\n1000 1000 1\n1 1\n"
+	if _, err := ReadLimited(strings.NewReader(in), Limits{MaxDim: 999}); err == nil {
+		t.Fatal("dims over MaxDim accepted")
+	}
+	if _, err := ReadLimited(strings.NewReader(in), Limits{MaxDim: 1000}); err != nil {
+		t.Fatalf("dims at MaxDim rejected: %v", err)
+	}
+}
+
+func TestReadRejectsEntriesOverLimit(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate pattern general\n10 10 4\n1 1\n2 2\n3 3\n4 4\n"
+	if _, err := ReadLimited(strings.NewReader(in), Limits{MaxEntries: 3}); err == nil {
+		t.Fatal("nnz over MaxEntries accepted")
+	}
+	g, err := ReadLimited(strings.NewReader(in), Limits{MaxEntries: 4})
+	if err != nil {
+		t.Fatalf("nnz at MaxEntries rejected: %v", err)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("got %d edges, want 4", g.NumEdges())
+	}
+}
+
+func TestReadSymmetricDoublesAgainstLimit(t *testing.T) {
+	// 3 off-diagonal entries expand to 6 edges; a budget of 5 must reject
+	// the declared count up front, 6 must admit it.
+	in := "%%MatrixMarket matrix coordinate pattern symmetric\n4 4 3\n2 1\n3 1\n4 2\n"
+	if _, err := ReadLimited(strings.NewReader(in), Limits{MaxEntries: 5}); err == nil {
+		t.Fatal("symmetric expansion over MaxEntries accepted")
+	}
+	g, err := ReadLimited(strings.NewReader(in), Limits{MaxEntries: 6})
+	if err != nil {
+		t.Fatalf("symmetric expansion at MaxEntries rejected: %v", err)
+	}
+	if g.NumEdges() != 6 {
+		t.Fatalf("got %d edges, want 6", g.NumEdges())
+	}
+}
+
+func TestReadCapsSpeculativeReserve(t *testing.T) {
+	// Under the entry limit but far over reserveCap: the parser must not
+	// trust the header, and the short file then fails the entry count check
+	// quickly instead of exhausting memory first.
+	in := "%%MatrixMarket matrix coordinate pattern general\n1000000 1000000 1073741824\n1 1\n"
+	_, err := ReadLimited(strings.NewReader(in), Limits{MaxEntries: 1 << 31})
+	if err == nil || !strings.Contains(err.Error(), "expected") {
+		t.Fatalf("got %v, want truncation error", err)
+	}
+}
+
+func TestEdgeListRejectsDeclaredDimsOverLimit(t *testing.T) {
+	in := "# 2000 2000\n0 0\n"
+	if _, err := ReadEdgeListLimited(strings.NewReader(in), Limits{MaxDim: 1999}); err == nil {
+		t.Fatal("declared header over MaxDim accepted")
+	}
+}
+
+func TestEdgeListRejectsIdsOverLimit(t *testing.T) {
+	in := "5 0\n"
+	if _, err := ReadEdgeListLimited(strings.NewReader(in), Limits{MaxDim: 5}); err == nil {
+		t.Fatal("vertex id at MaxDim (needs MaxDim+1 vertices) accepted")
+	}
+	if _, err := ReadEdgeListLimited(strings.NewReader(in), Limits{MaxDim: 6}); err != nil {
+		t.Fatalf("vertex id under MaxDim rejected: %v", err)
+	}
+}
+
+func TestEdgeListRejectsEntryCountOverLimit(t *testing.T) {
+	in := "0 0\n0 1\n1 0\n"
+	if _, err := ReadEdgeListLimited(strings.NewReader(in), Limits{MaxEntries: 2}); err == nil {
+		t.Fatal("edge count over MaxEntries accepted")
+	}
+	if _, err := ReadEdgeListLimited(strings.NewReader(in), Limits{MaxEntries: 3}); err != nil {
+		t.Fatalf("edge count at MaxEntries rejected: %v", err)
+	}
+}
+
+func TestLimitsZeroValueUsesDefaults(t *testing.T) {
+	var l Limits
+	if l.maxDim() != DefaultMaxDim || l.maxEntries() != DefaultMaxEntries {
+		t.Fatalf("zero-value limits resolve to %d/%d", l.maxDim(), l.maxEntries())
+	}
+	in := "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1\n"
+	if _, err := Read(strings.NewReader(in)); err != nil {
+		t.Fatalf("defaults reject a benign file: %v", err)
+	}
+}

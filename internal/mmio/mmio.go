@@ -18,8 +18,15 @@ import (
 // Read parses a Matrix Market coordinate file (pattern, real, integer, or
 // complex; general, symmetric, skew-symmetric, or hermitian) and returns
 // the bipartite graph of its nonzero structure. Values are ignored: only
-// the sparsity pattern matters for cardinality matching.
+// the sparsity pattern matters for cardinality matching. Default Limits
+// apply; use ReadLimited to tighten them.
 func Read(r io.Reader) (*bipartite.Graph, error) {
+	return ReadLimited(r, Limits{})
+}
+
+// ReadLimited is Read with explicit parse limits, enforced on the declared
+// sizes before any size-dependent allocation.
+func ReadLimited(r io.Reader, lim Limits) (*bipartite.Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 
@@ -83,9 +90,21 @@ func Read(r io.Reader) (*bipartite.Graph, error) {
 	if symmetric && n1 != n2 {
 		return nil, fmt.Errorf("mmio: symmetric matrix must be square, got %dx%d", n1, n2)
 	}
+	if err := lim.checkDims(n1, n2); err != nil {
+		return nil, err
+	}
+	if err := lim.checkEntries(nnz, symmetric); err != nil {
+		return nil, err
+	}
 
 	b := bipartite.NewBuilder(int32(n1), int32(n2))
-	b.Reserve(int(nnz))
+	// Cap the speculative reservation: the declared nnz is untrusted until
+	// that many entries have actually arrived.
+	reserve := nnz
+	if reserve > reserveCap {
+		reserve = reserveCap
+	}
+	b.Reserve(int(reserve))
 	var read int64
 	for read < nnz && sc.Scan() {
 		line := strings.TrimSpace(sc.Text())

@@ -1,0 +1,75 @@
+package supervise
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Transient marks errors worth retrying in place: the failure is expected to
+// clear on its own (a dropped superstep exchange, a timed-out peer), so the
+// same engine can be re-run without degrading down the ladder.
+type Transient interface {
+	error
+	Transient() bool
+}
+
+// IsTransient reports whether err (or anything it wraps) is a transient
+// failure.
+func IsTransient(err error) bool {
+	var t Transient
+	return errors.As(err, &t) && t.Transient()
+}
+
+// Backoff bounds retries of transient failures: up to Attempts retries with
+// exponentially growing delays, Base<<(attempt-1) capped at Max.
+type Backoff struct {
+	Attempts int
+	Base     time.Duration // 0 means 10ms
+	Max      time.Duration // 0 means 1s
+}
+
+// Delay returns the sleep before retry number attempt (1-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// Retry runs f, retrying transient errors under b with context-aware
+// backoff. Non-transient errors, success, and exhausted attempts all return
+// immediately; cancellation during backoff returns ctx.Err joined with the
+// last failure.
+func Retry(ctx context.Context, b Backoff, f func(ctx context.Context) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = f(ctx)
+		if err == nil || !IsTransient(err) || attempt > b.Attempts {
+			return err
+		}
+		if !sleepCtx(ctx, b.Delay(attempt)) {
+			return errors.Join(ctx.Err(), err)
+		}
+	}
+}

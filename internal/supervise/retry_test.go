@@ -1,0 +1,113 @@
+package supervise
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayBounds(t *testing.T) {
+	b := Backoff{Attempts: 5, Base: 10 * time.Millisecond, Max: 50 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond, // attempt 1
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		50 * time.Millisecond, // capped
+		50 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Delay(i + 1); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Defaults kick in for zero values; attempt clamping never panics.
+	if d := (Backoff{}).Delay(0); d != 10*time.Millisecond {
+		t.Errorf("default Delay(0) = %v, want 10ms", d)
+	}
+	if d := (Backoff{}).Delay(1000); d != time.Second {
+		t.Errorf("default Delay(1000) = %v, want the 1s cap", d)
+	}
+}
+
+func TestRetryTransientThenSuccess(t *testing.T) {
+	var calls int
+	err := Retry(context.Background(), Backoff{Attempts: 3, Base: time.Millisecond},
+		func(ctx context.Context) error {
+			calls++
+			if calls < 3 {
+				return &fakeTransient{calls}
+			}
+			return nil
+		})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v after %d calls, want success on call 3", err, calls)
+	}
+}
+
+func TestRetryNonTransientStops(t *testing.T) {
+	var calls int
+	hard := errors.New("hard failure")
+	err := Retry(context.Background(), Backoff{Attempts: 5, Base: time.Millisecond},
+		func(ctx context.Context) error {
+			calls++
+			return hard
+		})
+	if !errors.Is(err, hard) || calls != 1 {
+		t.Fatalf("err = %v after %d calls, want the hard error after 1 call", err, calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	var calls int
+	err := Retry(context.Background(), Backoff{Attempts: 2, Base: time.Millisecond},
+		func(ctx context.Context) error {
+			calls++
+			return &fakeTransient{calls}
+		})
+	if !IsTransient(err) {
+		t.Fatalf("err = %v, want the final transient failure", err)
+	}
+	if calls != 3 { // initial call + 2 retries
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryCancelledDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls int
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	err := Retry(ctx, Backoff{Attempts: 10, Base: time.Hour},
+		func(ctx context.Context) error {
+			calls++
+			return &fakeTransient{calls}
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled joined in", err)
+	}
+	if !IsTransient(err) {
+		t.Fatalf("err = %v, want the transient cause joined in", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (cancelled during the first backoff)", calls)
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	if IsTransient(nil) {
+		t.Error("nil is not transient")
+	}
+	if IsTransient(errors.New("plain")) {
+		t.Error("plain error is not transient")
+	}
+	if !IsTransient(&fakeTransient{1}) {
+		t.Error("fakeTransient must be transient")
+	}
+	wrapped := errors.Join(errors.New("context"), &fakeTransient{2})
+	if !IsTransient(wrapped) {
+		t.Error("wrapped transient must be detected")
+	}
+}
