@@ -1,0 +1,51 @@
+// BenchmarkHotLoopAllocs pins the allocation behavior of the hot phase and
+// superstep loops that hotpath-alloc polices: the shared-memory MS-BFS-Graft
+// engine (per-phase counter scratch), PF and push-relabel (round-invariant
+// parallel bodies and activation lists), and the distributed engine under
+// fault injection (superstep closures and transport scratch). Run with
+//
+//	go test -bench=HotLoopAllocs -benchmem -run=^$ .
+//
+// and compare allocs/op; EXPERIMENTS.md records the before/after of the
+// hoists on the small-scale RMAT instance.
+package graftmatch_test
+
+import (
+	"testing"
+
+	"graftmatch/internal/dist"
+	"graftmatch/internal/exps"
+	"graftmatch/internal/matchinit"
+)
+
+func BenchmarkHotLoopAllocs(b *testing.B) {
+	var inst *exps.Instance
+	for i := range benchSuite {
+		if benchSuite[i].Name == "RMAT" {
+			inst = &benchSuite[i]
+		}
+	}
+	if inst == nil {
+		b.Fatal("RMAT instance missing from suite")
+	}
+	g := inst.Graph
+	base := matchinit.Greedy(g)
+	p := fullThreads()
+
+	for _, algo := range []exps.Algo{exps.AlgoGraft, exps.AlgoPF, exps.AlgoPR} {
+		b.Run(string(algo), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = exps.Run(algo, g, p)
+			}
+		})
+	}
+	b.Run("Dist-faulty", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := base.Clone()
+			_ = dist.Run(g, m, dist.Options{Ranks: 4, Grafting: true,
+				Faults: &dist.Faults{Seed: 1, Drop: 0.1, Duplicate: 0.05}})
+		}
+	})
+}

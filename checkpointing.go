@@ -78,18 +78,27 @@ func LoadCheckpoint(g *Graph, dir string) (*CheckpointState, error) {
 
 // ckptWriter emits snapshots from phase callbacks. Calls normally arrive
 // serially on an engine driver goroutine, but an abandoned (zombie) rung can
-// race the next rung's driver for an instant, so writes are mutex-guarded.
+// race the next rung's driver for an instant, so the mutable state is
+// mutex-guarded. The mutex is never held across checkpoint.Save: a snapshot
+// attempt claims the `writing` flag under the lock, performs file I/O
+// unlocked, and records the outcome under the lock again. A caller that
+// finds `writing` set skips its snapshot — checkpoints are best-effort, and
+// the overlap only occurs in the zombie-rung window where one of the two
+// racing snapshots is redundant anyway.
 type ckptWriter struct {
-	mu          sync.Mutex
+	// Immutable after construction.
 	dir         string
 	interval    time.Duration
 	keep        int
 	fp          checkpoint.Fingerprint
 	initialCard int64
 	start       time.Time
-	lastWrite   time.Time
-	lastPath    string
-	firstErr    error
+
+	mu        sync.Mutex
+	writing   bool // a Save is in flight (guarded by mu, claimed before I/O)
+	lastWrite time.Time
+	lastPath  string
+	firstErr  error
 }
 
 func newCkptWriter(g *Graph, co CheckpointOptions, initialCard int64) *ckptWriter {
@@ -110,23 +119,38 @@ func newCkptWriter(g *Graph, co CheckpointOptions, initialCard int64) *ckptWrite
 // observe writes a mid-run snapshot at a phase boundary, rate-limited by the
 // configured interval.
 func (w *ckptWriter) observe(engine string, phase, card int64, mateX, mateY []int32) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.interval > 0 && !w.lastWrite.IsZero() && time.Since(w.lastWrite) < w.interval {
+	if !w.claimWrite(false) {
 		return
 	}
 	w.write(engine, phase, card, mateX, mateY, nil)
 }
 
 // final writes the end-of-run snapshot carrying the engine's full counters.
+// It bypasses the rate limit but still yields to an in-flight write.
 func (w *ckptWriter) final(engine string, stats *Stats, card int64, mateX, mateY []int32) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	if !w.claimWrite(true) {
+		return
+	}
 	var phase int64
 	if stats != nil {
 		phase = stats.Phases
 	}
 	w.write(engine, phase, card, mateX, mateY, stats)
+}
+
+// claimWrite decides under the lock whether a snapshot should proceed and,
+// if so, claims the writing flag. force bypasses the interval rate limit.
+func (w *ckptWriter) claimWrite(force bool) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.writing {
+		return false
+	}
+	if !force && w.interval > 0 && !w.lastWrite.IsZero() && time.Since(w.lastWrite) < w.interval {
+		return false
+	}
+	w.writing = true
+	return true
 }
 
 func (w *ckptWriter) write(engine string, phase, card int64, mateX, mateY []int32, stats *Stats) {
@@ -155,7 +179,18 @@ func (w *ckptWriter) write(engine string, phase, card int64, mateX, mateY []int3
 			Runtime:            stats.Runtime,
 		}
 	}
+	// File I/O happens with the writing flag claimed but the mutex free:
+	// status() and rival snapshot attempts never block behind the disk.
 	path, err := checkpoint.Save(w.dir, s)
+	if err == nil {
+		// Retention is best-effort: a failed prune must not disable
+		// checkpointing, and the next successful prune catches up.
+		_ = checkpoint.Prune(w.dir, w.keep)
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.writing = false
 	if err != nil {
 		if w.firstErr == nil {
 			w.firstErr = err
@@ -164,9 +199,6 @@ func (w *ckptWriter) write(engine string, phase, card int64, mateX, mateY []int3
 	}
 	w.lastWrite = time.Now()
 	w.lastPath = path
-	// Retention is best-effort: a failed prune must not disable
-	// checkpointing, and the next successful prune catches up.
-	_ = checkpoint.Prune(w.dir, w.keep)
 }
 
 // status returns the newest snapshot path and the first write failure.

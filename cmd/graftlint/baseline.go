@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"graftmatch/internal/analysis"
+)
+
+// A baseline is the debt ledger for adopting a new check on an existing
+// tree: known findings recorded by (file, check, message) — deliberately
+// not by line, so unrelated edits that shift code do not invalidate
+// entries. `-baseline file` subtracts recorded findings from the output;
+// entries that no longer match anything are reported as stale on stderr so
+// the ledger shrinks monotonically. `-write-baseline file` records the
+// current findings and exits clean.
+
+// baselineEntry identifies one accepted finding.
+type baselineEntry struct {
+	File    string `json:"file"` // module-root-relative, slash form
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// baselineFile is the on-disk form.
+type baselineFile struct {
+	Version int             `json:"version"`
+	Entries []baselineEntry `json:"entries"`
+}
+
+func entryOf(root string, d analysis.Diagnostic) baselineEntry {
+	return baselineEntry{File: relTo(root, d.Pos.Filename), Check: d.Check, Message: d.Message}
+}
+
+// loadBaseline reads and validates a baseline file.
+func loadBaseline(path string) (*baselineFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if bf.Version != 1 {
+		return nil, fmt.Errorf("%s: unsupported baseline version %d", path, bf.Version)
+	}
+	return &bf, nil
+}
+
+// applyBaseline filters diags against the baseline, returning the findings
+// still to report. Each matched entry absorbs any number of findings with
+// its key (a message repeated at several lines of one file is one debt);
+// entries matching nothing are stale and reported on stderr.
+func applyBaseline(bf *baselineFile, root string, diags []analysis.Diagnostic, stderr io.Writer) []analysis.Diagnostic {
+	matched := make([]bool, len(bf.Entries))
+	index := map[baselineEntry]int{}
+	for i, e := range bf.Entries {
+		index[e] = i
+	}
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		if i, ok := index[entryOf(root, d)]; ok {
+			matched[i] = true
+			continue
+		}
+		out = append(out, d)
+	}
+	for i, e := range bf.Entries {
+		if !matched[i] {
+			fmt.Fprintf(stderr, "graftlint: stale baseline entry (no longer reported): %s: %s: %s\n",
+				e.File, e.Check, e.Message)
+		}
+	}
+	return out
+}
+
+// writeBaseline records diags as a baseline at path, deduplicated and
+// sorted for stable diffs.
+func writeBaseline(path, root string, diags []analysis.Diagnostic) error {
+	seen := map[baselineEntry]bool{}
+	bf := baselineFile{Version: 1}
+	for _, d := range diags {
+		e := entryOf(root, d)
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		bf.Entries = append(bf.Entries, e)
+	}
+	sort.Slice(bf.Entries, func(i, j int) bool {
+		a, b := bf.Entries[i], bf.Entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	if bf.Entries == nil {
+		bf.Entries = []baselineEntry{}
+	}
+	data, err := json.MarshalIndent(&bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -8,7 +8,8 @@
 //
 // Usage:
 //
-//	graftlint [-json] [-checks a,b,c] [-list] [-C dir] [packages]
+//	graftlint [-json] [-sarif] [-checks a,b,c] [-list] [-C dir]
+//	          [-baseline file] [-write-baseline file] [packages]
 //
 // Package patterns are module-relative ("./...", "./internal/queue",
 // "internal/par/..."); with none given the whole module is checked. The
@@ -16,6 +17,11 @@
 // load errors. Findings are suppressed per line with
 //
 //	//lint:ignore <check>[,<check>...] <reason>
+//
+// -sarif emits SARIF 2.1.0 for code-scanning upload instead of text.
+// -baseline subtracts the findings recorded in a baseline file (keyed by
+// file, check, and message — not line) and warns about stale entries;
+// -write-baseline records the current findings as that file and exits 0.
 package main
 
 import (
@@ -38,11 +44,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("graftlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
 	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	listFlag := fs.Bool("list", false, "list available checks and exit")
 	dirFlag := fs.String("C", "", "module root directory (default: nearest go.mod at or above the working directory)")
+	baselineFlag := fs.String("baseline", "", "subtract findings recorded in this baseline file; warn about stale entries")
+	writeBaselineFlag := fs.String("write-baseline", "", "record current findings to this baseline file and exit 0")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: graftlint [-json] [-checks a,b,c] [-list] [-C dir] [packages]\n")
+		fmt.Fprintf(stderr, "usage: graftlint [-json] [-sarif] [-checks a,b,c] [-list] [-C dir] [-baseline file] [-write-baseline file] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -90,7 +99,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	diags = filterPatterns(diags, root, fs.Args(), stderr)
 
-	if *jsonOut {
+	if *writeBaselineFlag != "" {
+		if err := writeBaseline(*writeBaselineFlag, root, diags); err != nil {
+			fmt.Fprintf(stderr, "graftlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "graftlint: wrote %d baseline entr%s to %s\n",
+			len(diags), map[bool]string{true: "y", false: "ies"}[len(diags) == 1], *writeBaselineFlag)
+		return 0
+	}
+	if *baselineFlag != "" {
+		bf, err := loadBaseline(*baselineFlag)
+		if err != nil {
+			fmt.Fprintf(stderr, "graftlint: %v\n", err)
+			return 2
+		}
+		diags = applyBaseline(bf, root, diags, stderr)
+	}
+
+	switch {
+	case *sarifOut:
+		if err := writeSARIF(stdout, root, diags); err != nil {
+			fmt.Fprintf(stderr, "graftlint: %v\n", err)
+			return 2
+		}
+	case *jsonOut:
 		type finding struct {
 			File    string `json:"file"`
 			Line    int    `json:"line"`
@@ -111,7 +144,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "graftlint: %v\n", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n",
 				relTo(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message)

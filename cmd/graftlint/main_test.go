@@ -155,10 +155,196 @@ func TestListChecks(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"atomic-align", "mixed-access", "falseshare", "ctx-discipline", "err-checked"} {
+	for _, name := range []string{
+		"atomic-align", "mixed-access", "falseshare", "ctx-discipline", "err-checked",
+		"goroutine-leak", "lock-discipline", "wg-balance", "hotpath-alloc",
+	} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %q:\n%s", name, out)
 		}
+	}
+}
+
+// TestSARIFOutput validates the -sarif log against the SARIF 2.1.0 shape
+// GitHub code scanning consumes: schema/version headers, the tool driver
+// with the full rule list, and per-result rule, level, message, and
+// physical location.
+func TestSARIFOutput(t *testing.T) {
+	root := writeFixtureModule(t)
+	code, out, _ := runLint(t, "-C", root, "-sarif")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("invalid SARIF JSON: %v\n%s", err, out)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("version = %q, $schema = %q; want SARIF 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "graftlint" {
+		t.Errorf("driver name = %q, want graftlint", run.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no shortDescription", r.ID)
+		}
+	}
+	for _, want := range []string{"err-checked", "goroutine-leak", "lock-discipline", "wg-balance", "hotpath-alloc", "lint-directive"} {
+		if !ruleIDs[want] {
+			t.Errorf("driver rules missing %q", want)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2:\n%s", len(run.Results), out)
+	}
+	res := run.Results[0]
+	if res.RuleID != "err-checked" || res.Level != "error" || res.Message.Text == "" {
+		t.Errorf("unexpected first result: %+v", res)
+	}
+	if len(res.Locations) != 1 {
+		t.Fatalf("locations = %d, want 1", len(res.Locations))
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "dirty/dirty.go" {
+		t.Errorf("uri = %q, want dirty/dirty.go", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 10 || loc.Region.StartColumn != 2 {
+		t.Errorf("region = %+v, want 10:2", loc.Region)
+	}
+}
+
+// TestBaselineRoundTrip exercises the add/expire lifecycle: record the
+// current findings, verify they are subtracted, verify a fixed finding is
+// reported as stale, and verify a new finding still fails the run.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := writeFixtureModule(t)
+	baseline := filepath.Join(root, "lint-baseline.json")
+
+	// Record: exit 0 and a two-entry ledger.
+	code, _, errb := runLint(t, "-C", root, "-write-baseline", baseline)
+	if code != 0 {
+		t.Fatalf("write-baseline exit = %d, want 0; stderr:\n%s", code, errb)
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf struct {
+		Version int `json:"version"`
+		Entries []struct {
+			File, Check, Message string
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &bf); err != nil {
+		t.Fatalf("invalid baseline JSON: %v\n%s", err, data)
+	}
+	if bf.Version != 1 || len(bf.Entries) != 2 {
+		t.Fatalf("baseline = version %d with %d entries, want version 1 with 2", bf.Version, len(bf.Entries))
+	}
+
+	// Subtract: same tree is now clean, no stale warnings.
+	code, out, errb := runLint(t, "-C", root, "-baseline", baseline)
+	if code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0; output:\n%s", code, out)
+	}
+	if strings.Contains(errb, "stale") {
+		t.Errorf("unexpected stale warnings:\n%s", errb)
+	}
+
+	// Expire: fixing a finding turns its entry stale (warned, still exit 0).
+	dirty := filepath.Join(root, "dirty", "dirty.go")
+	src, err := os.ReadFile(dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := strings.Replace(string(src), "func Drop() {\n\tfail()\n}", "func Drop() error {\n\treturn fail()\n}", 1)
+	if fixed == string(src) {
+		t.Fatal("fixture rewrite did not apply")
+	}
+	if err := os.WriteFile(dirty, []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb = runLint(t, "-C", root, "-baseline", baseline)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 after fix; output:\n%s", code, out)
+	}
+	if !strings.Contains(errb, "stale baseline entry") || !strings.Contains(errb, "err-checked") {
+		t.Errorf("expected stale-entry warning on stderr, got:\n%s", errb)
+	}
+
+	// Add: a new finding is not absorbed by the old ledger.
+	extra := filepath.Join(root, "dirty", "extra.go")
+	if err := os.WriteFile(extra, []byte("package dirty\n\n// Leak drops a fresh error.\nfunc Leak() {\n\tfail()\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = runLint(t, "-C", root, "-baseline", baseline)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 with new finding; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "dirty/extra.go") {
+		t.Errorf("new finding missing from output:\n%s", out)
+	}
+}
+
+// TestBaselineErrors covers the failure modes: missing ledger and
+// unsupported version are load errors (exit 2).
+func TestBaselineErrors(t *testing.T) {
+	root := writeFixtureModule(t)
+	code, _, errb := runLint(t, "-C", root, "-baseline", filepath.Join(root, "missing.json"))
+	if code != 2 {
+		t.Fatalf("missing baseline: exit = %d, want 2; stderr:\n%s", code, errb)
+	}
+	bad := filepath.Join(root, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version": 99, "entries": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errb = runLint(t, "-C", root, "-baseline", bad)
+	if code != 2 {
+		t.Fatalf("bad version: exit = %d, want 2; stderr:\n%s", code, errb)
+	}
+	if !strings.Contains(errb, "unsupported baseline version") {
+		t.Errorf("expected version error, got:\n%s", errb)
 	}
 }
 

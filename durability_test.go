@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -308,5 +309,52 @@ func TestCheckpointWriteFailureDoesNotAbort(t *testing.T) {
 	}
 	if res.CheckpointErr == nil {
 		t.Fatal("unwritable dir not reported via CheckpointErr")
+	}
+}
+
+// TestCkptWriterConcurrentSnapshots drives observe/final/status from racing
+// goroutines, the zombie-rung overlap the writer must tolerate: no snapshot
+// may run while another is in flight (the writing flag), the mutex must not
+// be held across file I/O (status stays responsive), and a final snapshot
+// must land even with a rate limit that suppresses every observe.
+func TestCkptWriterConcurrentSnapshots(t *testing.T) {
+	g := gen.ER(100, 100, 300, 7)
+	dir := t.TempDir()
+	w := newCkptWriter(g, CheckpointOptions{Dir: dir, Interval: time.Hour}, 0)
+
+	mateX := make([]int32, 100)
+	mateY := make([]int32, 100)
+	for i := range mateX {
+		mateX[i], mateY[i] = -1, -1
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for p := int64(0); p < 50; p++ {
+				w.observe("tg", p, 0, mateX, mateY)
+				if _, err := w.status(); err != nil {
+					t.Errorf("status: %v", err)
+				}
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	w.final("tg", &Stats{Phases: 50}, 0, mateX, mateY)
+
+	path, err := w.status()
+	if err != nil {
+		t.Fatalf("status after final: %v", err)
+	}
+	if path == "" {
+		t.Fatal("final snapshot was not written despite the hour-long observe rate limit")
+	}
+	snap, err := checkpoint.Load(path)
+	if err != nil {
+		t.Fatalf("loading final snapshot: %v", err)
+	}
+	if snap.Stats.Phases != 50 {
+		t.Fatalf("final snapshot phases = %d, want 50", snap.Stats.Phases)
 	}
 }

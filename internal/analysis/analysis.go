@@ -36,6 +36,10 @@ func Checks() []Check {
 		FalseShare(),
 		CtxDiscipline(),
 		ErrChecked(),
+		GoroutineLeak(),
+		LockDiscipline(),
+		WGBalance(),
+		HotPathAlloc(),
 	}
 }
 

@@ -27,6 +27,10 @@ var fixtureCases = []struct {
 	{"falseshare", []string{"falseshare"}, analysis.Config{}},
 	{"ctxdiscipline", []string{"ctx-discipline"}, analysis.Config{CtxPackages: []string{"pos", "neg"}}},
 	{"errchecked", []string{"err-checked"}, analysis.Config{PanicPackages: []string{"neg"}}},
+	{"goroutineleak", []string{"goroutine-leak"}, analysis.Config{}},
+	{"lockdiscipline", []string{"lock-discipline"}, analysis.Config{}},
+	{"wgbalance", []string{"wg-balance"}, analysis.Config{}},
+	{"hotpathalloc", []string{"hotpath-alloc"}, analysis.Config{HotPackages: []string{"pos", "neg"}}},
 	{"suppress", nil, analysis.Config{}},
 }
 
@@ -121,7 +125,10 @@ func TestRunUnknownCheck(t *testing.T) {
 }
 
 func TestCheckNames(t *testing.T) {
-	want := []string{"atomic-align", "mixed-access", "falseshare", "ctx-discipline", "err-checked"}
+	want := []string{
+		"atomic-align", "mixed-access", "falseshare", "ctx-discipline", "err-checked",
+		"goroutine-leak", "lock-discipline", "wg-balance", "hotpath-alloc",
+	}
 	got := analysis.CheckNames()
 	if len(got) != len(want) {
 		t.Fatalf("CheckNames() = %v, want %v", got, want)

@@ -50,6 +50,7 @@ type Program struct {
 	Config Config
 
 	supp *suppressions
+	fs   *flowState // lazily built flow substrate (flowInfo)
 }
 
 // Config scopes the package-sensitive rules.
@@ -60,6 +61,13 @@ type Config struct {
 	// PanicPackages are import-path suffixes of the packages allowed to
 	// panic: the containment layer that converts worker panics into errors.
 	PanicPackages []string
+
+	// HotPackages are import-path suffixes of the packages whose loop
+	// bodies are allocation-sensitive (the BFS/superstep inner loops);
+	// hotpath-alloc flags per-iteration allocations inside them, in
+	// addition to the bodies of func literals handed to the internal/par
+	// entry points anywhere in the module.
+	HotPackages []string
 }
 
 // DefaultConfig returns the repo's production configuration.
@@ -70,6 +78,10 @@ func DefaultConfig() Config {
 			"internal/pushrelabel", "internal/dist", "internal/supervise",
 		},
 		PanicPackages: []string{"internal/par"},
+		HotPackages: []string{
+			"internal/core", "internal/msbfs", "internal/queue",
+			"internal/dist", "internal/pf", "internal/pushrelabel",
+		},
 	}
 }
 

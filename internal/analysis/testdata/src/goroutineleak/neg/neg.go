@@ -1,0 +1,82 @@
+// Package neg holds goroutine-leak negative cases: every spawn here is
+// observable at a join point, directly or transitively.
+package neg
+
+import (
+	"context"
+	"sync"
+)
+
+var counter int
+
+func work() { counter++ }
+
+// WaitGroupJoin: Done inside the body is the join signal.
+func WaitGroupJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// ChannelJoin: the send is the join signal.
+func ChannelJoin() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		done <- struct{}{}
+	}()
+	<-done
+}
+
+// ContextAware: selecting on ctx.Done observes cancellation.
+func ContextAware(ctx context.Context, in chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-in:
+				counter += v
+			}
+		}
+	}()
+}
+
+func pump(ch chan int) {
+	for v := range ch {
+		counter += v
+	}
+}
+
+// NamedRange: ranging over the channel in the resolvable callee observes
+// close(ch).
+func NamedRange(ch chan int) {
+	go pump(ch)
+}
+
+func outer(ch chan int) { inner(ch) }
+func inner(ch chan int) { close(ch) }
+
+// Transitive: the close happens two static calls deep.
+func Transitive(ch chan int) {
+	go outer(ch)
+}
+
+// OpaqueWithChannel: the function value is not resolvable, but it receives
+// a channel, so the callee is assumed to observe it.
+func OpaqueWithChannel(fn func(chan int), ch chan int) {
+	go fn(ch)
+}
+
+// PollingCtx: ctx.Err polling counts as observing cancellation.
+func PollingCtx(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+			work()
+		}
+	}()
+}

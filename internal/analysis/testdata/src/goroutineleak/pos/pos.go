@@ -1,0 +1,47 @@
+// Package pos holds goroutine-leak positive cases: every `go` statement
+// here spawns a body that no join point can ever observe finishing.
+package pos
+
+var counter int
+
+func work() { counter++ }
+
+// SpinForever must be diagnosed: the literal loops without touching a
+// channel, WaitGroup, or context.
+func SpinForever() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+func leaky() {
+	for i := 0; i < 100; i++ {
+		work()
+	}
+}
+
+// SpawnNamed must be diagnosed: leaky is statically resolvable and never
+// observes anything.
+func SpawnNamed() {
+	go leaky()
+}
+
+// SpawnOpaque must be diagnosed: the function value is not statically
+// resolvable and the call passes nothing a callee could observe on.
+func SpawnOpaque(fn func()) {
+	go fn()
+}
+
+func deadObserver(ch chan int) {
+	work()
+	return
+	ch <- 1 // unreachable: does not count as an observation
+}
+
+// SpawnDead must be diagnosed: the only channel send in deadObserver sits
+// after a return, on a CFG-unreachable path.
+func SpawnDead(ch chan int) {
+	go deadObserver(ch)
+}

@@ -1,0 +1,73 @@
+// Package neg holds hotpath-alloc negative cases. The package is listed in
+// HotPackages, so its loop bodies are hot regions — every construct below
+// is allocation-free per iteration and must not be flagged.
+package neg
+
+import "fix/internal/par"
+
+var total int
+
+type item struct {
+	id, weight int
+}
+
+func observe(v any) { _ = v }
+
+// HoistedScratch: the buffer is allocated once, outside the loop, and
+// reused; appending to it amortizes because it is declared outside the
+// region.
+func HoistedScratch(n int) {
+	buf := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+		total += buf[len(buf)-1]
+	}
+}
+
+// ValueLiterals: struct and array value literals live on the stack.
+func ValueLiterals(n int) {
+	for i := 0; i < n; i++ {
+		it := item{id: i, weight: i * 2}
+		coords := [2]int{i, -i}
+		total += it.weight + coords[0]
+	}
+}
+
+// PointerShaped: pointers and constants cross into interface parameters
+// without boxing.
+func PointerShaped(n int) {
+	x := 7
+	for i := 0; i < n; i++ {
+		observe(&x)
+		observe(42)
+		observe(nil)
+	}
+}
+
+// PanicPath: allocation on the panic path is not a per-iteration cost.
+func PanicPath(n int) {
+	for i := 0; i < n; i++ {
+		if i < 0 {
+			panic(i)
+		}
+		total += i
+	}
+}
+
+// FreeClosure: a literal with no captured locals does not allocate per
+// iteration.
+func FreeClosure(n int) {
+	for i := 0; i < n; i++ {
+		double := func(v int) int { return v * 2 }
+		total += double(i)
+	}
+}
+
+// CleanParallelBody: the hot literal only reads and indexes.
+func CleanParallelBody(xs []int) {
+	par.For(len(xs), 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			total += xs[i]
+		}
+	})
+}

@@ -1,0 +1,68 @@
+// Package pos holds lock-discipline positive cases: blocking under a held
+// mutex, double locking, leaking a lock past a return, and branch-imbalanced
+// lock state.
+package pos
+
+import (
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// SendUnderLock must be diagnosed: the channel send can block forever with
+// g.mu held.
+func SendUnderLock(g *guarded, ch chan int) {
+	g.mu.Lock()
+	ch <- g.n
+	g.mu.Unlock()
+}
+
+// SleepUnderLock must be diagnosed: time.Sleep is a blocking stdlib call.
+func SleepUnderLock(g *guarded) {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond)
+	g.mu.Unlock()
+}
+
+func waitForSignal(ch chan struct{}) { <-ch }
+
+// TransitiveBlock must be diagnosed: waitForSignal blocks on a channel
+// receive while g.mu is held.
+func TransitiveBlock(g *guarded, ch chan struct{}) {
+	g.mu.Lock()
+	waitForSignal(ch)
+	g.mu.Unlock()
+}
+
+// DoubleLock must be diagnosed: the second Lock self-deadlocks.
+func DoubleLock(g *guarded) {
+	g.mu.Lock()
+	g.mu.Lock()
+	g.mu.Unlock()
+}
+
+// LeakOnEarlyReturn must be diagnosed: the early return leaves g.mu held
+// with no defer to release it.
+func LeakOnEarlyReturn(g *guarded, bad bool) {
+	g.mu.Lock()
+	if bad {
+		return
+	}
+	g.mu.Unlock()
+}
+
+// Imbalanced must be diagnosed: after the if, g.mu is held on one path and
+// free on the other.
+func Imbalanced(g *guarded, cond bool) {
+	if cond {
+		g.mu.Lock()
+	}
+	g.n++
+	if cond {
+		g.mu.Unlock()
+	}
+}

@@ -1,0 +1,78 @@
+// Package neg holds wg-balance negative cases: balanced accounting and the
+// shapes where the count is not statically knowable, so the check must stay
+// quiet.
+package neg
+
+import "sync"
+
+var sink int
+
+func work() { sink++ }
+
+// Balanced: one Add before the spawn, one Done inside it.
+func Balanced() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// TwoByTwo: constant Adds summing to the completion count.
+func TwoByTwo() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// AddPerIteration: Add inside a loop — the total depends on n, so the
+// constant rule must bail.
+func AddPerIteration(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// NonConstantAdd: the argument is not a constant, so the rule bails.
+func NonConstantAdd(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+func helper(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+// Escapes: the WaitGroup is handed to another function, so local accounting
+// cannot see every Add/Done and the rule bails.
+func Escapes() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go helper(&wg)
+	wg.Wait()
+}

@@ -1,0 +1,49 @@
+// Package pos holds wg-balance positive cases: Add racing Wait from inside
+// a goroutine, and constant Add/Done counts that cannot balance.
+package pos
+
+import "sync"
+
+var sink int
+
+func work() { sink++ }
+
+// AddInsideGoroutine must be diagnosed (rule A): Wait can run before the
+// goroutine's Add, observe a zero counter, and return immediately.
+func AddInsideGoroutine() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1)
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// OverAdd must be diagnosed (rule B): two added, one completion — Wait
+// blocks forever.
+func OverAdd() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// UnderAdd must be diagnosed (rule B): one added, two completions — the
+// second Done panics on a negative counter.
+func UnderAdd() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}

@@ -79,6 +79,13 @@ type engine struct {
 	claims     *par.Counter // Y vertices newly claimed, per worker
 	claimedDeg *par.Counter // total degree of newly claimed Y, per worker
 
+	// Per-phase counter scratch: augment and graftStep run once per phase,
+	// so their counters are Reset and reused instead of reallocated (each
+	// Counter is a cache-line-padded cell per worker — a real allocation).
+	paths    *par.Counter // augmenting paths flipped this phase
+	lens     *par.Counter // total augmenting-path edge length this phase
+	phaseDeg *par.Counter // degree sums in graftStep's reset sweeps
+
 	stats *matching.Stats
 }
 
@@ -129,6 +136,9 @@ func RunCtx(ctx context.Context, g *bipartite.Graph, m *matching.Matching, opts 
 		edges:      par.NewCounter(opts.Threads),
 		claims:     par.NewCounter(opts.Threads),
 		claimedDeg: par.NewCounter(opts.Threads),
+		paths:      par.NewCounter(opts.Threads),
+		lens:       par.NewCounter(opts.Threads),
+		phaseDeg:   par.NewCounter(opts.Threads),
 		stats: &matching.Stats{
 			Algorithm: algorithmName(opts),
 			Threads:   opts.Threads,
@@ -238,7 +248,10 @@ func (e *engine) run() {
 		// the mate arrays, so the matching stays as the last phase left it.
 		for e.cur.Len() > 0 && e.err == nil {
 			if e.opts.TraceFrontiers {
-				trace = append(trace, int64(e.cur.Len()))
+				// Ownership of the trace transfers to Stats.FrontierTrace
+				// each phase, so it cannot be reused scratch; opt-in
+				// diagnostics, one append per BFS level.
+				trace = append(trace, int64(e.cur.Len())) //lint:ignore hotpath-alloc per-phase trace is handed to Stats, not reusable; TraceFrontiers is off by default
 			}
 			if e.bottomUpTripped || e.useTopDown() {
 				t := time.Now()
@@ -542,8 +555,9 @@ func (e *engine) finishLevel() {
 // trees, so roots are processed in parallel.
 func (e *engine) augment() int64 {
 	mateX, mateY := e.m.MateX, e.m.MateY
-	paths := par.NewCounter(e.opts.Threads)
-	lens := par.NewCounter(e.opts.Threads)
+	paths, lens := e.paths, e.lens
+	paths.Reset()
+	lens.Reset()
 	e.pforDyn(len(mateX), 512, func(w int, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			x0 := int32(i)
@@ -581,8 +595,6 @@ func (e *engine) augment() int64 {
 // grafts renewableY onto the active forest bottom-up or destroys everything
 // and restarts from the unmatched X vertices.
 func (e *engine) graftStep() {
-	p := e.opts.Threads
-
 	// Census (lines 2–4): classify by leaf[root].
 	t := time.Now()
 	e.activeX.Reset()
@@ -635,7 +647,8 @@ func (e *engine) graftStep() {
 	// Reset renewable Y state so those vertices can be reused (lines 6–7).
 	t = time.Now()
 	renewable := e.renewY.Slice()
-	renewDeg := par.NewCounter(p)
+	renewDeg := e.phaseDeg
+	renewDeg.Reset()
 	if !e.pfor(len(renewable), func(w, lo, hi int) {
 		var deg int64
 		for i := lo; i < hi; i++ {
@@ -668,7 +681,8 @@ func (e *engine) graftStep() {
 	// Regrow from scratch (lines 11–15): clear active forest state and
 	// restart from the unmatched X vertices.
 	active := e.activeY.Slice()
-	activeDeg := par.NewCounter(p)
+	activeDeg := e.phaseDeg
+	activeDeg.Reset()
 	if !e.pfor(len(active), func(w, lo, hi int) {
 		var deg int64
 		for i := lo; i < hi; i++ {

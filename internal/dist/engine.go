@@ -85,6 +85,12 @@ type rank struct {
 	newRenewable []int32 // owned roots turned renewable this superstep
 	paths        int64   // augmenting walks initiated by this rank
 
+	// Census scratch, reset and refilled by graft each phase so the
+	// per-phase census appends reuse capacity instead of growing fresh
+	// slices inside the parallel superstep body.
+	renewY  []int32 // owned Y vertices in renewable (dead) trees
+	activeY []int32 // owned Y vertices in still-active trees
+
 	out [][]message // outboxes indexed by destination rank
 	in  []message   // merged inbox for the current superstep
 }
@@ -134,7 +140,7 @@ func New(g *bipartite.Graph, opts Options) *Engine {
 	for i := range e.ranks {
 		xlo, xhi := e.part.RangeX(i)
 		ylo, yhi := e.part.RangeY(i)
-		r := &rank{
+		r := &rank{ //lint:ignore hotpath-alloc constructor setup: one rank per partition block, allocated once per engine
 			id: i, xlo: xlo, xhi: xhi, ylo: ylo, yhi: yhi,
 			rootX:     make([]int32, xhi-xlo),
 			mateX:     make([]int32, xhi-xlo),
@@ -340,6 +346,40 @@ func (e *Engine) frontierEmpty() bool {
 // The context is polled between levels — forest state is partial there, but
 // the mate arrays are untouched, so stopping is always safe.
 func (e *Engine) bfs(ctx context.Context) error {
+	// The superstep bodies are loop-invariant; building them once per bfs
+	// call keeps the level loop free of per-iteration closure allocations.
+	//
+	// Expand (top-down): offer every neighbor of active frontier vertices
+	// to its owner.
+	expand := func(r *rank) {
+		for _, x := range r.frontier {
+			if !r.active(x) {
+				continue
+			}
+			root := r.rootX[r.lx(x)]
+			for _, y := range e.g.NbrX(x) {
+				r.send(e.part.OwnerY(y), message{mClaim, y, x, root})
+			}
+		}
+		r.frontier = r.frontier[:0]
+	}
+	// Claim: owners resolve first-come claims on their Y vertices.
+	claim := func(r *rank) {
+		for _, msg := range r.in {
+			y, x, root := msg.a, msg.b, msg.c
+			if r.visited[r.ly(y)] || r.renewable[root] {
+				continue
+			}
+			r.visited[r.ly(y)] = true
+			r.parentY[r.ly(y)] = x
+			r.rootY[r.ly(y)] = root
+			if mate := r.mateY[r.ly(y)]; mate != none {
+				r.send(e.part.OwnerX(mate), message{mAddFrontier, mate, root, 0})
+			} else {
+				r.send(e.part.OwnerX(root), message{mSetLeaf, root, y, 0})
+			}
+		}
+	}
 	for !e.frontierEmpty() {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -347,40 +387,11 @@ func (e *Engine) bfs(ctx context.Context) error {
 		if err := e.netErr(); err != nil {
 			return err
 		}
-		// Expand (top-down): offer every neighbor of active frontier
-		// vertices to its owner.
-		e.eachRank(func(r *rank) {
-			for _, x := range r.frontier {
-				if !r.active(x) {
-					continue
-				}
-				root := r.rootX[r.lx(x)]
-				for _, y := range e.g.NbrX(x) {
-					r.send(e.part.OwnerY(y), message{mClaim, y, x, root})
-				}
-			}
-			r.frontier = r.frontier[:0]
-		})
+		e.eachRank(expand)
 		e.countEdges()
 		e.exchange()
 
-		// Claim: owners resolve first-come claims on their Y vertices.
-		e.eachRank(func(r *rank) {
-			for _, msg := range r.in {
-				y, x, root := msg.a, msg.b, msg.c
-				if r.visited[r.ly(y)] || r.renewable[root] {
-					continue
-				}
-				r.visited[r.ly(y)] = true
-				r.parentY[r.ly(y)] = x
-				r.rootY[r.ly(y)] = root
-				if mate := r.mateY[r.ly(y)]; mate != none {
-					r.send(e.part.OwnerX(mate), message{mAddFrontier, mate, root, 0})
-				} else {
-					r.send(e.part.OwnerX(root), message{mSetLeaf, root, y, 0})
-				}
-			}
-		})
+		e.eachRank(claim)
 		e.exchange()
 
 		// Apply: install frontier additions and leaf discoveries.
@@ -446,29 +457,32 @@ func (e *Engine) augment() int64 {
 		return false
 	}
 
+	// Loop-invariant token-passing body, hoisted so each walk round does
+	// not allocate a fresh closure.
+	step := func(r *rank) {
+		for _, msg := range r.in {
+			switch msg.kind {
+			case mWalkY:
+				y, root := msg.a, msg.b
+				x := r.parentY[r.ly(y)]
+				r.send(e.part.OwnerX(x), message{mMatchReq, x, y, root})
+			case mMatchReq:
+				x, y, root := msg.a, msg.b, msg.c
+				prev := r.mateX[r.lx(x)]
+				r.mateX[r.lx(x)] = y
+				r.send(e.part.OwnerY(y), message{mMateAck, y, x, 0})
+				if x != root {
+					r.send(e.part.OwnerY(prev), message{mWalkY, prev, root, 0})
+				}
+			case mMateAck:
+				y, x := msg.a, msg.b
+				r.mateY[r.ly(y)] = x
+			}
+		}
+	}
 	for live() {
 		e.exchange()
-		e.eachRank(func(r *rank) {
-			for _, msg := range r.in {
-				switch msg.kind {
-				case mWalkY:
-					y, root := msg.a, msg.b
-					x := r.parentY[r.ly(y)]
-					r.send(e.part.OwnerX(x), message{mMatchReq, x, y, root})
-				case mMatchReq:
-					x, y, root := msg.a, msg.b, msg.c
-					prev := r.mateX[r.lx(x)]
-					r.mateX[r.lx(x)] = y
-					r.send(e.part.OwnerY(y), message{mMateAck, y, x, 0})
-					if x != root {
-						r.send(e.part.OwnerY(prev), message{mWalkY, prev, root, 0})
-					}
-				case mMateAck:
-					y, x := msg.a, msg.b
-					r.mateY[r.ly(y)] = x
-				}
-			}
-		})
+		e.eachRank(step)
 	}
 
 	var total int64
@@ -485,23 +499,20 @@ func (e *Engine) augment() int64 {
 // from the unmatched X vertices.
 func (e *Engine) graft() {
 	var activeX, renewYTotal int64
-	renewLists := make([][]int32, len(e.ranks))
-	activeLists := make([][]int32, len(e.ranks))
 	e.eachRank(func(r *rank) {
-		var renewY, activeY []int32
+		r.renewY = r.renewY[:0]
+		r.activeY = r.activeY[:0]
 		for y := r.ylo; y < r.yhi; y++ {
 			root := r.rootY[r.ly(y)]
 			if root == none {
 				continue
 			}
 			if r.renewable[root] {
-				renewY = append(renewY, y)
+				r.renewY = append(r.renewY, y)
 			} else {
-				activeY = append(activeY, y)
+				r.activeY = append(r.activeY, y)
 			}
 		}
-		renewLists[r.id] = renewY
-		activeLists[r.id] = activeY
 	})
 	for _, r := range e.ranks {
 		for x := r.xlo; x < r.xhi; x++ {
@@ -509,12 +520,12 @@ func (e *Engine) graft() {
 				activeX++
 			}
 		}
-		renewYTotal += int64(len(renewLists[r.id]))
+		renewYTotal += int64(len(r.renewY))
 	}
 
 	// Reset renewable Y state so those vertices can be reused.
 	e.eachRank(func(r *rank) {
-		for _, y := range renewLists[r.id] {
+		for _, y := range r.renewY {
 			r.visited[r.ly(y)] = false
 			r.rootY[r.ly(y)] = none
 			r.parentY[r.ly(y)] = none
@@ -527,7 +538,7 @@ func (e *Engine) graft() {
 		// adopts its first acceptance.
 		e.stats.Grafts++
 		e.eachRank(func(r *rank) {
-			for _, y := range renewLists[r.id] {
+			for _, y := range r.renewY {
 				for _, x := range e.g.NbrY(y) {
 					r.send(e.part.OwnerX(x), message{mQuery, x, y, 0})
 				}
@@ -584,7 +595,7 @@ func (e *Engine) graft() {
 	// Rebuild: destroy active trees and restart from unmatched X.
 	e.stats.Rebuilds++
 	e.eachRank(func(r *rank) {
-		for _, y := range activeLists[r.id] {
+		for _, y := range r.activeY {
 			r.visited[r.ly(y)] = false
 			r.rootY[r.ly(y)] = none
 			r.parentY[r.ly(y)] = none

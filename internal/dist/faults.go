@@ -119,6 +119,13 @@ type transport struct {
 	// delivering reliably so the in-flight superstep completes, and the
 	// engine polls this flag at its safe points.
 	failed bool
+
+	// Per-superstep scratch reused across deliver calls so the recovery
+	// loop allocates nothing at steady state: the in-flight message table,
+	// the per-rank dedup maps (cleared, not rebuilt), and the stall flags.
+	pend    []pendMsg
+	recv    []map[recvKey]message
+	stalled []bool
 }
 
 func newTransport(f Faults, fs *FaultStats) *transport {
@@ -147,21 +154,28 @@ type recvKey struct {
 // order — exactly the fault-free concatenation order — and clears the
 // outboxes. Runs single-threaded on the exchange driver.
 func (t *transport) deliver(ranks []*rank) {
-	var pending []*pendMsg
+	t.pend = t.pend[:0]
 	for _, s := range ranks {
 		for dst := range s.out {
 			for i, m := range s.out[dst] {
-				pending = append(pending, &pendMsg{src: s.id, dst: dst, seq: int32(i), msg: m, backoff: 1})
+				t.pend = append(t.pend, pendMsg{src: s.id, dst: dst, seq: int32(i), msg: m, backoff: 1})
 			}
 		}
 	}
+	pending := t.pend
 	K := len(ranks)
-	recv := make([]map[recvKey]message, K)
-	for i := range recv {
-		recv[i] = make(map[recvKey]message)
+	if len(t.recv) != K {
+		t.recv = make([]map[recvKey]message, K)
+		for i := range t.recv {
+			t.recv[i] = make(map[recvKey]message) //lint:ignore hotpath-alloc one-time scratch build on the first superstep, reused (cleared) afterwards
+		}
+		t.stalled = make([]bool, K)
+	} else {
+		for i := range t.recv {
+			clear(t.recv[i])
+		}
 	}
-
-	stalled := make([]bool, K)
+	recv, stalled := t.recv, t.stalled
 	remaining := len(pending)
 	for round := 1; remaining > 0; round++ {
 		t.fstats.DeliveryRounds++
@@ -178,7 +192,8 @@ func (t *transport) deliver(ranks []*rank) {
 				t.fstats.Stalls++
 			}
 		}
-		for _, p := range pending {
+		for i := range pending {
+			p := &pending[i]
 			if p.acked {
 				continue
 			}

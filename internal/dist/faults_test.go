@@ -135,3 +135,34 @@ func TestReliableRunHasNoFaultStats(t *testing.T) {
 		t.Fatalf("fault stats on a reliable run: %+v", *s.Faults)
 	}
 }
+
+// TestDeliverSteadyStateAllocs: the retransmit/ack recovery loop reuses the
+// transport's scratch (pending table, per-rank dedup maps, stall flags), so
+// a steady-state superstep — same rank count, same message volume — must
+// not allocate at all. deliver runs single-threaded on the exchange driver,
+// which makes the measurement deterministic.
+func TestDeliverSteadyStateAllocs(t *testing.T) {
+	tr := newTransport(Faults{Seed: 7, Drop: 0.2, Duplicate: 0.1, Stall: 0.1}, &FaultStats{})
+	const K = 3
+	ranks := make([]*rank, K)
+	for i := range ranks {
+		ranks[i] = &rank{id: i, out: make([][]message, K)}
+	}
+	fill := func() {
+		for _, s := range ranks {
+			for dst := 0; dst < K; dst++ {
+				for seq := int32(0); seq < 8; seq++ {
+					s.send(dst, message{mClaim, seq, int32(s.id), 0})
+				}
+			}
+		}
+	}
+	// AllocsPerRun's warm-up call grows all scratch to capacity; the
+	// measured runs must then be allocation-free.
+	if avg := testing.AllocsPerRun(50, func() {
+		fill()
+		tr.deliver(ranks)
+	}); avg > 0 {
+		t.Errorf("deliver allocated %.1f times per steady-state superstep, want 0", avg)
+	}
+}

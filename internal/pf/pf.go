@@ -82,6 +82,25 @@ func RunCtx(ctx context.Context, g *bipartite.Graph, m *matching.Matching, opts 
 
 	var err error
 	fair := false
+	// Phase-invariant parallel bodies, built once so the phase loop does
+	// not allocate a fresh closure per iteration. Both capture variables
+	// (visited, roots, fair, ...) the loop mutates in place.
+	clearVisited := func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			visited[i] = 0
+		}
+	}
+	searchRoots := func(w int, lo, hi int) {
+		st := &workers[w]
+		for i := lo; i < hi; i++ {
+			if n := st.search(g, m, roots[i], visited, lookahead, fair); n > 0 {
+				paths.Add(w, 1)
+				lens.Add(w, int64(n))
+			}
+		}
+		edges.Add(w, st.edges)
+		st.edges = 0
+	}
 	for {
 		if err = ctx.Err(); err != nil {
 			break // phase boundary: the matching is consistent here
@@ -95,26 +114,12 @@ func RunCtx(ctx context.Context, g *bipartite.Graph, m *matching.Matching, opts 
 		if len(roots) == 0 {
 			break
 		}
-		if err = par.ForCtx(ctx, p, ny, func(_, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				visited[i] = 0
-			}
-		}); err != nil {
+		if err = par.ForCtx(ctx, p, ny, clearVisited); err != nil {
 			break
 		}
 
 		before := paths.Sum()
-		if err = par.ForDynamicCtx(ctx, p, len(roots), 1, func(w int, lo, hi int) {
-			st := &workers[w]
-			for i := lo; i < hi; i++ {
-				if n := st.search(g, m, roots[i], visited, lookahead, fair); n > 0 {
-					paths.Add(w, 1)
-					lens.Add(w, int64(n))
-				}
-			}
-			edges.Add(w, st.edges)
-			st.edges = 0
-		}); err != nil {
+		if err = par.ForDynamicCtx(ctx, p, len(roots), 1, searchRoots); err != nil {
 			break
 		}
 		stats.Phases++

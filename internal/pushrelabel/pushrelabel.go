@@ -262,6 +262,65 @@ func (e *prState) runParallel() {
 	edges := par.NewCounter(p)
 	pushOps := par.NewCounter(p)
 
+	// Round-invariant scratch and parallel body, hoisted out of the round
+	// loop: the per-worker activation lists keep their capacity across
+	// rounds, and the closure is allocated once instead of per round.
+	nextLocal := make([][]int32, p)
+	grain := e.opts.QueueLimit
+	if grain > 64 {
+		grain = 64
+	}
+	// Queue uniqueness invariant: every x appears in the round's active
+	// queue at most once, its fate is decided exactly once by the
+	// worker that owns it (matched, dead, or — never — requeued by the
+	// owner), and a stolen mate is requeued exactly once by the thief.
+	// This prevents two workers from double-pushing the same x.
+	// Every committed push leaves the mate arrays a valid matching, so
+	// a cancelled round (blocks stop being claimed) is safe to abandon.
+	pushRound := func(w int, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x := e.active[i]
+		retry:
+			if atomic.LoadInt32(&mateX[x]) != none {
+				continue // matched then stolen races are handled by the thief
+			}
+			// Scan with possibly stale labels (monotone ⇒ stale is an
+			// underestimate, so the relabel below stays valid).
+			ymin, dmin := none, e.limit
+			nbr := e.g.NbrX(x)
+			edges.Add(w, int64(len(nbr)))
+			for _, y := range nbr {
+				if d := atomic.LoadInt32(&e.dY[y]); d < dmin {
+					dmin = d
+					ymin = y
+				}
+			}
+			if dmin >= e.limit {
+				atomic.StoreInt32(&e.dX[x], e.limit)
+				continue
+			}
+			// Commit under ymin's lock, verifying the label we based
+			// admissibility on has not increased.
+			e.lock(ymin)
+			if atomic.LoadInt32(&e.dY[ymin]) != dmin {
+				e.unlock(ymin)
+				goto retry
+			}
+			atomic.StoreInt32(&e.dX[x], dmin+1)
+			old := mateY[ymin]
+			mateY[ymin] = x
+			atomic.StoreInt32(&mateX[x], ymin)
+			atomic.StoreInt32(&e.dY[ymin], dmin+2)
+			e.unlock(ymin)
+			pushOps.Add(w, 1)
+			if old != none {
+				atomic.StoreInt32(&mateX[old], none)
+				nextLocal[w] = append(nextLocal[w], old)
+			}
+			pushCount.Add(1)
+		}
+	}
+
 	for {
 		if e.err = e.ctx.Err(); e.err != nil {
 			break // round boundary: the matching is consistent here
@@ -270,63 +329,10 @@ func (e *prState) runParallel() {
 			break
 		}
 		// Collect next-round activations per worker, then merge.
-		nextLocal := make([][]int32, p)
-		grain := e.opts.QueueLimit
-		if grain > 64 {
-			grain = 64
+		for w := range nextLocal {
+			nextLocal[w] = nextLocal[w][:0]
 		}
-		// Queue uniqueness invariant: every x appears in the round's active
-		// queue at most once, its fate is decided exactly once by the
-		// worker that owns it (matched, dead, or — never — requeued by the
-		// owner), and a stolen mate is requeued exactly once by the thief.
-		// This prevents two workers from double-pushing the same x.
-		// Every committed push leaves the mate arrays a valid matching, so
-		// a cancelled round (blocks stop being claimed) is safe to abandon.
-		if e.err = par.ForDynamicCtx(e.ctx, p, len(e.active), grain, func(w int, lo, hi int) {
-			local := nextLocal[w]
-			for i := lo; i < hi; i++ {
-				x := e.active[i]
-			retry:
-				if atomic.LoadInt32(&mateX[x]) != none {
-					continue // matched then stolen races are handled by the thief
-				}
-				// Scan with possibly stale labels (monotone ⇒ stale is an
-				// underestimate, so the relabel below stays valid).
-				ymin, dmin := none, e.limit
-				nbr := e.g.NbrX(x)
-				edges.Add(w, int64(len(nbr)))
-				for _, y := range nbr {
-					if d := atomic.LoadInt32(&e.dY[y]); d < dmin {
-						dmin = d
-						ymin = y
-					}
-				}
-				if dmin >= e.limit {
-					atomic.StoreInt32(&e.dX[x], e.limit)
-					continue
-				}
-				// Commit under ymin's lock, verifying the label we based
-				// admissibility on has not increased.
-				e.lock(ymin)
-				if atomic.LoadInt32(&e.dY[ymin]) != dmin {
-					e.unlock(ymin)
-					goto retry
-				}
-				atomic.StoreInt32(&e.dX[x], dmin+1)
-				old := mateY[ymin]
-				mateY[ymin] = x
-				atomic.StoreInt32(&mateX[x], ymin)
-				atomic.StoreInt32(&e.dY[ymin], dmin+2)
-				e.unlock(ymin)
-				pushOps.Add(w, 1)
-				if old != none {
-					atomic.StoreInt32(&mateX[old], none)
-					local = append(local, old)
-				}
-				pushCount.Add(1)
-			}
-			nextLocal[w] = local
-		}); e.err != nil {
+		if e.err = par.ForDynamicCtx(e.ctx, p, len(e.active), grain, pushRound); e.err != nil {
 			break
 		}
 
