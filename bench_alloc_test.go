@@ -16,6 +16,7 @@ import (
 	"graftmatch/internal/dist"
 	"graftmatch/internal/exps"
 	"graftmatch/internal/matchinit"
+	"graftmatch/internal/obs"
 )
 
 func BenchmarkHotLoopAllocs(b *testing.B) {
@@ -40,6 +41,20 @@ func BenchmarkHotLoopAllocs(b *testing.B) {
 			}
 		})
 	}
+	// The engines are always instrumented; the plain runs above exercise the
+	// nil-recorder (no-op) path. This variant attaches a live recorder so
+	// the observability tax is directly comparable — the acceptance bar is
+	// allocs/op identical to the nil-recorder run (handles are registered
+	// once, phase-boundary recording is alloc-free) and wall time within a
+	// few percent.
+	b.Run("Graft-live-recorder", func(b *testing.B) {
+		b.ReportAllocs()
+		rec := obs.New(obs.Config{Workers: p})
+		b.ResetTimer() // recorder construction (the span ring) is one-time, not per-run cost
+		for i := 0; i < b.N; i++ {
+			_ = exps.RunWith(exps.AlgoGraft, g, p, rec)
+		}
+	})
 	b.Run("Dist-faulty", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {

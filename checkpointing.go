@@ -93,6 +93,7 @@ type ckptWriter struct {
 	fp          checkpoint.Fingerprint
 	initialCard int64
 	start       time.Time
+	rec         *Recorder // nil-safe observability tap
 
 	mu        sync.Mutex
 	writing   bool // a Save is in flight (guarded by mu, claimed before I/O)
@@ -101,7 +102,7 @@ type ckptWriter struct {
 	firstErr  error
 }
 
-func newCkptWriter(g *Graph, co CheckpointOptions, initialCard int64) *ckptWriter {
+func newCkptWriter(g *Graph, co CheckpointOptions, initialCard int64, rec *Recorder) *ckptWriter {
 	keep := co.Keep
 	if keep <= 0 {
 		keep = 3
@@ -113,6 +114,7 @@ func newCkptWriter(g *Graph, co CheckpointOptions, initialCard int64) *ckptWrite
 		fp:          checkpoint.GraphFingerprint(g),
 		initialCard: initialCard,
 		start:       time.Now(),
+		rec:         rec,
 	}
 }
 
@@ -181,8 +183,11 @@ func (w *ckptWriter) write(engine string, phase, card int64, mateX, mateY []int3
 	}
 	// File I/O happens with the writing flag claimed but the mutex free:
 	// status() and rival snapshot attempts never block behind the disk.
-	path, err := checkpoint.Save(w.dir, s)
+	saveStart := time.Now()
+	path, io, err := checkpoint.SaveMeasured(w.dir, s)
 	if err == nil {
+		w.rec.CheckpointSaved(path, io.Bytes, io.Fsync)
+		w.rec.Span("checkpoint", "save", saveStart, time.Since(saveStart), io.Bytes)
 		// Retention is best-effort: a failed prune must not disable
 		// checkpointing, and the next successful prune catches up.
 		_ = checkpoint.Prune(w.dir, w.keep)
@@ -210,15 +215,29 @@ func (w *ckptWriter) status() (string, error) {
 
 // runMatch routes an initialized matching through the durability layers:
 // supervised execution when requested, otherwise a single engine run with
-// optional checkpointing.
+// optional checkpointing. The recorder's run-status lifecycle brackets all
+// of it, so /status reflects the run whichever layer drives it.
 func runMatch(ctx context.Context, g *Graph, m *matching.Matching, opts Options) (*Result, error) {
+	rec := opts.Recorder
+	rec.SetGraph(int64(g.NX()), int64(g.NY()), g.NumEdges())
+	rec.RunStart(opts.Algorithm.String())
+	res, err := runMatchLayers(ctx, g, m, opts)
+	if err != nil {
+		rec.RunDone(false, m.Cardinality())
+		return nil, err
+	}
+	rec.RunDone(res.Complete, res.Cardinality)
+	return res, nil
+}
+
+func runMatchLayers(ctx context.Context, g *Graph, m *matching.Matching, opts Options) (*Result, error) {
 	if opts.Supervise != nil {
 		return superviseMatch(ctx, g, m, opts)
 	}
 	if opts.Checkpoint == nil {
 		return finishMatch(ctx, g, m, opts)
 	}
-	w := newCkptWriter(g, *opts.Checkpoint, m.Cardinality())
+	w := newCkptWriter(g, *opts.Checkpoint, m.Cardinality(), opts.Recorder)
 	engine := opts.Algorithm.String()
 	user := opts.OnPhase
 	opts.OnPhase = func(phase, card int64) {

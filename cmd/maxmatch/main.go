@@ -6,7 +6,7 @@
 //	maxmatch [-algo msbfsgraft|pf|pr|hk|ssbfs|ssdfs|msbfs|diropt] [-threads N]
 //	         [-init ks|greedy|pgreedy|pks|none] [-timeout 30s] [-verify]
 //	         [-checkpoint-dir DIR] [-checkpoint-interval 5s] [-resume]
-//	         [-supervise] [-watchdog 30s] [-stall N]
+//	         [-supervise] [-watchdog 30s] [-stall N] [-obs-addr :8080]
 //	         [-stats] [-json] [-out matching.txt] file.{mtx,el,txt}[.gz]
 //
 // With -checkpoint-dir the run persists crash-safe snapshots of its state at
@@ -14,6 +14,11 @@
 // same graph (verifying it first) and falls back to a fresh start when the
 // directory is empty. -supervise (implied by -watchdog or -stall) runs the
 // computation under a watchdog with an engine degradation ladder.
+//
+// With -obs-addr the run serves a live operational surface on that address
+// while it computes: /metrics (Prometheus text), /metrics.json, /status,
+// /trace (Chrome trace-event JSON for Perfetto), /trace/summary,
+// /debug/pprof/* and /debug/vars. The listener is closed when the run ends.
 //
 // Exit status: 0 on success, 1 on error, 3 when -timeout expired and the
 // reported matching is a valid partial result rather than a certified
@@ -27,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -95,6 +102,7 @@ func run(args []string) error {
 	superviseFlag := fs.Bool("supervise", false, "run under a supervisor with an engine degradation ladder")
 	watchdog := fs.Duration("watchdog", 0, "supervisor watchdog: degrade engines after this long without a completed phase (implies -supervise)")
 	stall := fs.Int("stall", 0, "supervisor stall detection: degrade after N phases without cardinality growth (implies -supervise)")
+	obsAddr := fs.String("obs-addr", "", "serve live metrics/status/trace/pprof on this address (e.g. :8080) for the duration of the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,6 +116,18 @@ func run(args []string) error {
 	initz, ok := initByName[strings.ToLower(*initName)]
 	if !ok {
 		return fmt.Errorf("unknown initializer %q", *initName)
+	}
+
+	// The observability surface comes up before graph loading so a scraper
+	// can attach while a large instance is still parsing.
+	var rec *graftmatch.Recorder
+	if *obsAddr != "" {
+		rec = graftmatch.NewRecorder(graftmatch.RecorderConfig{Workers: *threads})
+		stop, err := serveObs(*obsAddr, rec)
+		if err != nil {
+			return err
+		}
+		defer stop()
 	}
 
 	g, err := graftmatch.ReadGraphFile(fs.Arg(0))
@@ -138,6 +158,7 @@ func run(args []string) error {
 			StallPhases:  *stall,
 		}
 	}
+	opts.Recorder = rec
 
 	var resumeState *graftmatch.CheckpointState
 	if *resume {
@@ -237,6 +258,30 @@ func run(args []string) error {
 		return errPartial
 	}
 	return nil
+}
+
+// serveObs starts the operational HTTP surface on addr and returns a stop
+// function that closes the listener and waits for the server goroutine. The
+// bind happens synchronously so a bad address fails the run immediately and
+// the printed URL is live before the computation starts.
+func serveObs(addr string, rec *graftmatch.Recorder) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs-addr: %w", err)
+	}
+	fmt.Printf("observability: serving http://%s/ (metrics, status, trace, pprof)\n", ln.Addr())
+	srv := &http.Server{Handler: graftmatch.ObsHandler(rec)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Serve returns ErrServerClosed-like errors once the listener is
+		// closed by stop(); the surface is best-effort either way.
+		_ = srv.Serve(ln) //lint:ignore err-checked listener closed by stop(); serving is best-effort
+	}()
+	return func() {
+		_ = srv.Close() //lint:ignore err-checked best-effort shutdown at process exit
+		<-done
+	}, nil
 }
 
 // writeMatching writes the matched (row, col) pairs 1-based, one per line.

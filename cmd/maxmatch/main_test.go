@@ -119,3 +119,16 @@ func TestOutAndJSON(t *testing.T) {
 		t.Fatal("want error for unwritable out path")
 	}
 }
+
+// TestObsAddr: -obs-addr serves the operational surface for the run's
+// duration (a successful run closes it cleanly) and a bad address fails the
+// run immediately instead of computing unobserved.
+func TestObsAddr(t *testing.T) {
+	path := writeTestMatrix(t)
+	if err := run([]string{"-obs-addr", "127.0.0.1:0", "-stats", "-verify", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-obs-addr", "127.0.0.1:99999", path}); err == nil {
+		t.Fatal("bad -obs-addr: want bind error")
+	}
+}

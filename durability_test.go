@@ -320,7 +320,7 @@ func TestCheckpointWriteFailureDoesNotAbort(t *testing.T) {
 func TestCkptWriterConcurrentSnapshots(t *testing.T) {
 	g := gen.ER(100, 100, 300, 7)
 	dir := t.TempDir()
-	w := newCkptWriter(g, CheckpointOptions{Dir: dir, Interval: time.Hour}, 0)
+	w := newCkptWriter(g, CheckpointOptions{Dir: dir, Interval: time.Hour}, 0, nil)
 
 	mateX := make([]int32, 100)
 	mateY := make([]int32, 100)

@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
 	"time"
 
 	"graftmatch/internal/bipartite"
@@ -33,6 +34,7 @@ import (
 	"graftmatch/internal/matching"
 	"graftmatch/internal/matchinit"
 	"graftmatch/internal/mmio"
+	"graftmatch/internal/obs"
 	"graftmatch/internal/pf"
 	"graftmatch/internal/pushrelabel"
 	"graftmatch/internal/ssbfs"
@@ -58,6 +60,26 @@ type Stats = matching.Stats
 
 // Decomposition is a Dulmage–Mendelsohn / block-triangular decomposition.
 type Decomposition = dmperm.Decomposition
+
+// Recorder is the live observability hub: a lock-free per-worker metrics
+// registry, a bounded span tracer, and a run-status snapshot. Pass one via
+// Options.Recorder to observe a run; serve it with ObsHandler. A nil
+// *Recorder (the default) is a no-op that costs the engines nothing.
+type Recorder = obs.Recorder
+
+// RecorderConfig sizes a Recorder; the zero value means GOMAXPROCS worker
+// slots and a 16384-span trace ring.
+type RecorderConfig = obs.Config
+
+// NewRecorder builds a live Recorder.
+func NewRecorder(cfg RecorderConfig) *Recorder { return obs.New(cfg) }
+
+// ObsHandler serves rec's operational surface over HTTP: /metrics
+// (Prometheus text), /metrics.json, /status (live run status), /trace
+// (Chrome trace-event JSON, loadable in Perfetto), /trace/summary (flame
+// summary), /debug/pprof/* and /debug/vars. Safe on a nil recorder (all
+// endpoints report empty state).
+func ObsHandler(rec *Recorder) http.Handler { return obs.Handler(rec) }
 
 // NewBuilder returns a Builder for a graph with nx X-vertices (rows) and ny
 // Y-vertices (columns).
@@ -196,6 +218,13 @@ type Options struct {
 	// degradation ladder of fallback engines, each seeded with the best
 	// matching reached so far. See SuperviseOptions.
 	Supervise *SuperviseOptions
+
+	// Recorder, when non-nil, receives live metrics (per-phase counters,
+	// step-time breakdowns, queue and checkpoint I/O), one trace span per
+	// phase/step, and run-status updates from every layer of the run —
+	// engine, checkpoint writer, and supervisor. Serve it over HTTP with
+	// ObsHandler. The nil default records nothing and costs nothing.
+	Recorder *Recorder
 }
 
 // Result is the outcome of Match.
@@ -286,6 +315,7 @@ func finishMatch(ctx context.Context, g *Graph, m *matching.Matching, opts Optio
 			Alpha:          opts.Alpha,
 			TraceFrontiers: opts.TraceFrontiers,
 			OnPhase:        opts.OnPhase,
+			Recorder:       opts.Recorder,
 		}
 		if opts.Algorithm != MSBFS {
 			co.DirectionOptimized = true
@@ -293,9 +323,9 @@ func finishMatch(ctx context.Context, g *Graph, m *matching.Matching, opts Optio
 		co.Grafting = opts.Algorithm == MSBFSGraft
 		stats, err = core.RunCtx(ctx, g, m, co)
 	case PothenFan:
-		stats, err = pf.RunCtx(ctx, g, m, pf.Options{Threads: opts.Threads, OnPhase: opts.OnPhase})
+		stats, err = pf.RunCtx(ctx, g, m, pf.Options{Threads: opts.Threads, OnPhase: opts.OnPhase, Recorder: opts.Recorder})
 	case PushRelabel:
-		stats, err = pushrelabel.RunCtx(ctx, g, m, pushrelabel.Options{Threads: opts.Threads, OnPhase: opts.OnPhase})
+		stats, err = pushrelabel.RunCtx(ctx, g, m, pushrelabel.Options{Threads: opts.Threads, OnPhase: opts.OnPhase, Recorder: opts.Recorder})
 	case HopcroftKarp, SSBFS, SSDFS:
 		if err = ctx.Err(); err == nil {
 			switch opts.Algorithm {

@@ -76,11 +76,13 @@ func DefaultConfig() Config {
 		CtxPackages: []string{
 			"internal/par", "internal/core", "internal/pf",
 			"internal/pushrelabel", "internal/dist", "internal/supervise",
+			"internal/obs",
 		},
 		PanicPackages: []string{"internal/par"},
 		HotPackages: []string{
 			"internal/core", "internal/msbfs", "internal/queue",
 			"internal/dist", "internal/pf", "internal/pushrelabel",
+			"internal/obs",
 		},
 	}
 }

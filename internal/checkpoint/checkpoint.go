@@ -324,41 +324,57 @@ func validateMates(s *Snapshot) error {
 // and only then renamed to their final *.ckpt name, so a crash at any point
 // leaves either the complete new snapshot or no new file — never a torn one.
 func Save(dir string, s *Snapshot) (string, error) {
+	path, _, err := SaveMeasured(dir, s)
+	return path, err
+}
+
+// SaveIO reports the I/O cost of one snapshot write, for observability:
+// the encoded size and how long the durability fsync took.
+type SaveIO struct {
+	Bytes int64
+	Fsync time.Duration
+}
+
+// SaveMeasured is Save with the write's I/O cost reported alongside the
+// path. On error the SaveIO is zero.
+func SaveMeasured(dir string, s *Snapshot) (string, SaveIO, error) {
 	data, err := Encode(s)
 	if err != nil {
-		return "", err
+		return "", SaveIO{}, err
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", fmt.Errorf("checkpoint: %w", err)
+		return "", SaveIO{}, fmt.Errorf("checkpoint: %w", err)
 	}
 	f, err := os.CreateTemp(dir, ".ck-*.tmp")
 	if err != nil {
-		return "", fmt.Errorf("checkpoint: %w", err)
+		return "", SaveIO{}, fmt.Errorf("checkpoint: %w", err)
 	}
 	tmp := f.Name()
-	cleanup := func(err error) (string, error) {
+	cleanup := func(err error) (string, SaveIO, error) {
 		f.Close()
 		os.Remove(tmp)
-		return "", fmt.Errorf("checkpoint: %w", err)
+		return "", SaveIO{}, fmt.Errorf("checkpoint: %w", err)
 	}
 	if _, err := f.Write(data); err != nil {
 		return cleanup(err)
 	}
+	fsyncStart := time.Now()
 	if err := f.Sync(); err != nil {
 		return cleanup(err)
 	}
+	io := SaveIO{Bytes: int64(len(data)), Fsync: time.Since(fsyncStart)}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return "", fmt.Errorf("checkpoint: %w", err)
+		return "", SaveIO{}, fmt.Errorf("checkpoint: %w", err)
 	}
 	// UnixNano in the name makes names collision-free and sortable by
 	// creation order, which Prune relies on.
 	final := filepath.Join(dir, fmt.Sprintf("ck-%020d.ckpt", time.Now().UnixNano()))
 	if err := os.Rename(tmp, final); err != nil {
 		os.Remove(tmp)
-		return "", fmt.Errorf("checkpoint: %w", err)
+		return "", SaveIO{}, fmt.Errorf("checkpoint: %w", err)
 	}
-	return final, nil
+	return final, io, nil
 }
 
 // Load reads and validates one snapshot file. Corruption of any kind is a

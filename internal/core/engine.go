@@ -87,6 +87,10 @@ type engine struct {
 	phaseDeg *par.Counter // degree sums in graftStep's reset sweeps
 
 	stats *matching.Stats
+
+	// met holds the live-observability handles (all nil-safe no-ops when
+	// Options.Recorder is nil).
+	met metrics
 }
 
 // Run executes the configured algorithm on g, updating m in place to a
@@ -151,6 +155,12 @@ func RunCtx(ctx context.Context, g *bipartite.Graph, m *matching.Matching, opts 
 	}
 	e.locals = queue.NewLocals(opts.Threads, e.next)
 	e.stats.InitialCardinality = m.Cardinality()
+	e.met = newMetrics(opts.Recorder)
+	qresv := opts.Recorder.Counter("graftmatch_queue_reservations_total",
+		"atomic block reservations on the frontier queues")
+	for _, f := range []*queue.Frontier{e.cur, e.next, e.renewY, e.activeY, e.activeX, e.unvisQ} {
+		f.Instrument(qresv)
+	}
 
 	start := time.Now()
 	e.run()
@@ -241,22 +251,30 @@ func (e *engine) run() {
 	e.seedFrontierFromUnmatched()
 
 	for e.err == nil {
+		phaseStart := time.Now()
 		var trace []int64
 
 		// Step 1: grow the alternating BFS forest level by level. An
 		// interrupted forest is simply abandoned: these steps never touch
 		// the mate arrays, so the matching stays as the last phase left it.
 		for e.cur.Len() > 0 && e.err == nil {
+			fsize := int64(e.cur.Len())
 			if e.opts.TraceFrontiers {
-				// Ownership of the trace transfers to Stats.FrontierTrace
-				// each phase, so it cannot be reused scratch; opt-in
-				// diagnostics, one append per BFS level.
-				trace = append(trace, int64(e.cur.Len())) //lint:ignore hotpath-alloc per-phase trace is handed to Stats, not reusable; TraceFrontiers is off by default
+				if len(trace) < matching.FrontierTraceMaxLevels {
+					// Ownership of the trace transfers to
+					// Stats.FrontierTrace each phase, so it cannot be
+					// reused scratch; opt-in diagnostics, one append per
+					// BFS level, bounded by the documented cap.
+					trace = append(trace, fsize) //lint:ignore hotpath-alloc per-phase trace is handed to Stats, not reusable; TraceFrontiers is off by default
+				} else {
+					e.stats.FrontierTraceTruncated = true
+				}
 			}
+			e.met.frontier.Observe(0, fsize)
 			if e.bottomUpTripped || e.useTopDown() {
 				t := time.Now()
 				e.topDown()
-				e.stats.AddStep(matching.StepTopDown, time.Since(t))
+				e.recordStep(matching.StepTopDown, "top-down", t, fsize)
 				e.stats.TopDownLevels++
 			} else {
 				t := time.Now()
@@ -265,7 +283,7 @@ func (e *engine) run() {
 				if float64(e.claims.Sum())*e.opts.Alpha < float64(len(r)) {
 					e.bottomUpTripped = true
 				}
-				e.stats.AddStep(matching.StepBottomUp, time.Since(t))
+				e.recordStep(matching.StepBottomUp, "bottom-up", t, int64(len(r)))
 				e.stats.BottomUpLevels++
 			}
 			e.finishLevel()
@@ -274,7 +292,7 @@ func (e *engine) run() {
 			return
 		}
 		if e.opts.TraceFrontiers {
-			e.stats.FrontierTrace = append(e.stats.FrontierTrace, trace)
+			e.stats.AppendFrontierTrace(trace)
 		}
 
 		if phaseHook != nil {
@@ -286,14 +304,18 @@ func (e *engine) run() {
 		// valid matching containing every fully flipped path.
 		t := time.Now()
 		augmented := e.augment()
-		e.stats.AddStep(matching.StepAugment, time.Since(t))
+		e.recordStep(matching.StepAugment, "augment", t, augmented)
 		if e.err != nil {
 			return
 		}
 
 		e.stats.Phases++
+		card := e.m.Cardinality()
+		e.met.phases.Add(0, 1)
+		e.met.rec.Span("core", "phase", phaseStart, time.Since(phaseStart), card)
+		e.met.rec.PhaseDone(e.stats.Algorithm, e.stats.Phases, card)
 		if e.opts.OnPhase != nil {
-			e.opts.OnPhase(e.stats.Phases, e.m.Cardinality())
+			e.opts.OnPhase(e.stats.Phases, card)
 		}
 		if augmented == 0 {
 			return
@@ -539,7 +561,9 @@ func (e *engine) bottomUpSerial(r []int32) {
 // finishLevel swaps the frontier double buffer and folds the per-worker
 // counters into the running statistics.
 func (e *engine) finishLevel() {
-	e.stats.EdgesTraversed += e.edges.Sum()
+	edges := e.edges.Sum()
+	e.stats.EdgesTraversed += edges
+	e.met.edges.Add(0, edges)
 	e.unvisitedY -= e.claims.Sum()
 	e.unvisitedYEdges -= e.claimedDeg.Sum()
 	e.edges.Reset()
@@ -587,6 +611,7 @@ func (e *engine) augment() int64 {
 	n := paths.Sum()
 	e.stats.AugPaths += n
 	e.stats.AugPathLen += lens.Sum()
+	e.met.paths.Add(0, n)
 	return n
 }
 
@@ -642,7 +667,7 @@ func (e *engine) graftStep() {
 	}) {
 		return
 	}
-	e.stats.AddStep(matching.StepStatistics, time.Since(t))
+	e.recordStep(matching.StepStatistics, "statistics", t, int64(e.renewY.Len()))
 
 	// Reset renewable Y state so those vertices can be reused (lines 6–7).
 	t = time.Now()
@@ -674,7 +699,8 @@ func (e *engine) graftStep() {
 		}
 		e.finishLevel()
 		e.stats.Grafts++
-		e.stats.AddStep(matching.StepGraft, time.Since(t))
+		e.met.grafts.Add(0, 1)
+		e.recordStep(matching.StepGraft, "graft", t, int64(len(renewable)))
 		return
 	}
 
@@ -708,7 +734,8 @@ func (e *engine) graftStep() {
 	}
 	e.seedFrontierFromUnmatched()
 	e.stats.Rebuilds++
-	e.stats.AddStep(matching.StepGraft, time.Since(t))
+	e.met.rebuilds.Add(0, 1)
+	e.recordStep(matching.StepGraft, "rebuild", t, int64(len(active)))
 }
 
 // visitedTest reports whether y is claimed, using whichever visited

@@ -16,7 +16,10 @@
 // augmenting path; Theorem 1 of the paper proves the result is maximum.
 package core
 
-import "graftmatch/internal/par"
+import (
+	"graftmatch/internal/obs"
+	"graftmatch/internal/par"
+)
 
 // DefaultAlpha is the direction-switch and graft-decision threshold; the
 // paper found α ≈ 5 performs best for MS-BFS-Graft (§III-B).
@@ -58,6 +61,13 @@ type Options struct {
 	// current cardinality. Cancelling a RunCtx context from the hook stops
 	// the engine at this phase boundary.
 	OnPhase func(phase, cardinality int64)
+
+	// Recorder, when non-nil, receives live metrics (edges traversed,
+	// per-step times, grafts/rebuilds, frontier sizes, queue reservations)
+	// and one span per phase/step for the observability surface. All
+	// recording happens on the driver goroutine at level/phase granularity;
+	// the nil default degrades every instrumentation point to a nil check.
+	Recorder *obs.Recorder
 }
 
 // Defaults fills unset fields with the paper's defaults and returns the

@@ -6,6 +6,7 @@ import (
 
 	"graftmatch/internal/bipartite"
 	"graftmatch/internal/matching"
+	"graftmatch/internal/obs"
 	"graftmatch/internal/par"
 )
 
@@ -30,6 +31,17 @@ type Options struct {
 	// transport; see Faults. The computed matching, superstep count, and
 	// logical message count are identical to a fault-free run.
 	Faults *Faults
+
+	// OnPhase, when non-nil, is invoked on the driver goroutine after every
+	// completed phase (augmentation done, mate arrays consistent) with the
+	// phase count and the current cardinality.
+	OnPhase func(phase, cardinality int64)
+
+	// Recorder, when non-nil, receives superstep/message/retransmit
+	// counters, per-superstep and per-phase spans, and phase status updates.
+	// All recording happens on the driver goroutine between supersteps; the
+	// nil default is a no-op.
+	Recorder *obs.Recorder
 }
 
 // Stats extends the common matching statistics with the distributed cost
@@ -117,6 +129,15 @@ type Engine struct {
 	tr    *transport // nil: the network is reliable
 
 	stats Stats
+
+	// Observability handles; all nil-safe (nil Recorder → nil counters →
+	// no-op Add). lastSS anchors per-superstep spans; prevFaults is the cut
+	// against which fault-counter deltas are exported at phase boundaries.
+	rec                                *obs.Recorder
+	mSupersteps, mMessages, mPhases    *obs.Counter
+	mRetransmits, mAcksLost, mTimeouts *obs.Counter
+	lastSS                             time.Time
+	prevFaults                         FaultStats
 }
 
 // New prepares a distributed run over g with an initial matching m (the
@@ -158,6 +179,13 @@ func New(g *bipartite.Graph, opts Options) *Engine {
 		e.stats.Faults = &FaultStats{}
 		e.tr = newTransport(*opts.Faults, e.stats.Faults)
 	}
+	e.rec = opts.Recorder
+	e.mSupersteps = e.rec.Counter("graftmatch_dist_supersteps_total", "BSP supersteps (network rounds) executed")
+	e.mMessages = e.rec.Counter("graftmatch_dist_messages_total", "logical point-to-point messages plus collective broadcast volume")
+	e.mPhases = e.rec.Counter("graftmatch_dist_phases_total", "completed distributed search phases")
+	e.mRetransmits = e.rec.Counter("graftmatch_dist_retransmits_total", "transport retransmits recovering dropped packets")
+	e.mAcksLost = e.rec.Counter("graftmatch_dist_acks_lost_total", "acknowledgements lost in transit (sender retransmits a delivered packet)")
+	e.mTimeouts = e.rec.Counter("graftmatch_dist_timeouts_total", "per-packet delivery attempts that exhausted the retransmit budget")
 	return e
 }
 
@@ -258,7 +286,20 @@ func (e *Engine) exchange() {
 			msgs += int64(len(s.out[dst]))
 		}
 	}
-	e.stats.Messages += msgs + int64(len(allNew)*(e.part.K-1))
+	total := msgs + int64(len(allNew)*(e.part.K-1))
+	e.stats.Messages += total
+	e.mSupersteps.Add(0, 1)
+	e.mMessages.Add(0, total)
+	if e.rec != nil {
+		// One span per superstep: compute since the previous exchange plus
+		// this delivery, with the message volume as the argument. The nil
+		// guard keeps time.Now out of unobserved runs entirely.
+		now := time.Now()
+		if !e.lastSS.IsZero() {
+			e.rec.Span("dist", "superstep", e.lastSS, now.Sub(e.lastSS), total)
+		}
+		e.lastSS = now
+	}
 
 	if e.tr != nil {
 		e.tr.deliver(e.ranks) // fills every inbox, clears every outbox
@@ -304,15 +345,37 @@ func (e *Engine) run(ctx context.Context) error {
 		if err := e.netErr(); err != nil {
 			return err
 		}
+		phaseStart := time.Now()
 		if err := e.bfs(ctx); err != nil {
 			return err
 		}
 		paths := e.augment()
 		e.stats.Phases++
+		e.phaseDone(phaseStart)
 		if paths == 0 {
 			return nil
 		}
 		e.graft()
+	}
+}
+
+// phaseDone exports the phase boundary: fault-counter deltas since the last
+// cut, one phase span, the recorder status update, and the OnPhase hook. The
+// mate arrays are consistent here (augmentation walks have drained), so the
+// reported cardinality is the matching a gather at this instant would see.
+func (e *Engine) phaseDone(phaseStart time.Time) {
+	card := e.stats.InitialCardinality + e.stats.AugPaths
+	e.mPhases.Add(0, 1)
+	if f := e.stats.Faults; f != nil {
+		e.mRetransmits.Add(0, f.Retransmits-e.prevFaults.Retransmits)
+		e.mAcksLost.Add(0, f.AcksLost-e.prevFaults.AcksLost)
+		e.mTimeouts.Add(0, f.Timeouts-e.prevFaults.Timeouts)
+		e.prevFaults = *f
+	}
+	e.rec.Span("dist", "phase", phaseStart, time.Since(phaseStart), card)
+	e.rec.PhaseDone(e.stats.Algorithm, e.stats.Phases, card)
+	if e.opts.OnPhase != nil {
+		e.opts.OnPhase(e.stats.Phases, card)
 	}
 }
 

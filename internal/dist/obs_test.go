@@ -1,0 +1,123 @@
+package dist
+
+import (
+	"testing"
+
+	"graftmatch/internal/bipartite"
+	"graftmatch/internal/gen"
+	"graftmatch/internal/matching"
+	"graftmatch/internal/obs"
+)
+
+// A run with a live recorder must export superstep/message/phase counters
+// that agree exactly with the final Stats, one span per phase plus
+// per-superstep spans, and a status snapshot at the final phase.
+func TestRecorderMatchesStats(t *testing.T) {
+	g := gen.RMAT(10, 8, 0.57, 0.19, 0.19, 9)
+	rec := obs.New(obs.Config{Workers: 4, TraceCapacity: 65536})
+	m := matching.New(g.NX(), g.NY())
+	s := RunRec(t, g, m, rec, Options{Ranks: 4, Grafting: true})
+
+	counters := map[string]int64{
+		"graftmatch_dist_supersteps_total": s.Supersteps,
+		"graftmatch_dist_messages_total":   s.Messages,
+		"graftmatch_dist_phases_total":     s.Phases,
+	}
+	for name, want := range counters {
+		if got := rec.Counter(name, "").Value(); got != want {
+			t.Errorf("%s = %d, want %d (stats)", name, got, want)
+		}
+	}
+
+	spans, dropped := rec.Tracer().Snapshot()
+	if dropped != 0 {
+		t.Fatalf("trace ring dropped %d spans; raise TraceCapacity", dropped)
+	}
+	var phaseSpans, ssSpans int64
+	for _, sp := range spans {
+		if sp.Cat != "dist" {
+			t.Errorf("unexpected span category %q", sp.Cat)
+		}
+		switch sp.Name {
+		case "phase":
+			phaseSpans++
+		case "superstep":
+			ssSpans++
+		}
+	}
+	if phaseSpans != s.Phases {
+		t.Errorf("phase spans = %d, want %d", phaseSpans, s.Phases)
+	}
+	// The first exchange has no predecessor to measure from, so exactly one
+	// superstep goes unspanned.
+	if ssSpans != s.Supersteps-1 {
+		t.Errorf("superstep spans = %d, want %d", ssSpans, s.Supersteps-1)
+	}
+
+	st := rec.Status()
+	if st.Phase != s.Phases {
+		t.Errorf("status phase = %d, want %d", st.Phase, s.Phases)
+	}
+	if st.Cardinality != s.FinalCardinality {
+		t.Errorf("status cardinality = %d, want %d", st.Cardinality, s.FinalCardinality)
+	}
+	if st.Algorithm != s.Algorithm {
+		t.Errorf("status algorithm = %q, want %q", st.Algorithm, s.Algorithm)
+	}
+}
+
+// Fault-recovery counters are exported as per-phase deltas; after the run
+// the totals must equal the FaultStats the engine reports.
+func TestRecorderExportsFaultDeltas(t *testing.T) {
+	g := gen.ER(600, 600, 2400, 11)
+	rec := obs.New(obs.Config{Workers: 4})
+	m := matching.New(g.NX(), g.NY())
+	s := RunRec(t, g, m, rec, Options{
+		Ranks: 4, Grafting: true,
+		Faults: &Faults{Seed: 11, Drop: 0.25, Duplicate: 0.2, Stall: 0.1},
+	})
+	if s.Faults == nil {
+		t.Fatal("no fault stats")
+	}
+	if s.Faults.Retransmits == 0 {
+		t.Skip("fault schedule produced no retransmits")
+	}
+	deltas := map[string]int64{
+		"graftmatch_dist_retransmits_total": s.Faults.Retransmits,
+		"graftmatch_dist_acks_lost_total":   s.Faults.AcksLost,
+		"graftmatch_dist_timeouts_total":    s.Faults.Timeouts,
+	}
+	for name, want := range deltas {
+		if got := rec.Counter(name, "").Value(); got != want {
+			t.Errorf("%s = %d, want %d (FaultStats)", name, got, want)
+		}
+	}
+}
+
+// A recorder must not perturb the computed matching.
+func TestRecorderDoesNotPerturbRun(t *testing.T) {
+	g := gen.ER(500, 500, 2000, 3)
+	base := matching.New(g.NX(), g.NY())
+	baseStats := Run(g, base, Options{Ranks: 4, Grafting: true})
+
+	rec := obs.New(obs.Config{Workers: 2})
+	m := matching.New(g.NX(), g.NY())
+	s := RunRec(t, g, m, rec, Options{Ranks: 4, Grafting: true})
+	if s.FinalCardinality != baseStats.FinalCardinality {
+		t.Errorf("cardinality %d != %d", s.FinalCardinality, baseStats.FinalCardinality)
+	}
+	if s.Supersteps != baseStats.Supersteps {
+		t.Errorf("supersteps %d != %d", s.Supersteps, baseStats.Supersteps)
+	}
+}
+
+// RunRec runs with opts.Recorder = rec and asserts completion.
+func RunRec(t *testing.T, g *bipartite.Graph, m *matching.Matching, rec *obs.Recorder, opts Options) Stats {
+	t.Helper()
+	opts.Recorder = rec
+	s := Run(g, m, opts)
+	if !s.Complete {
+		t.Fatal("run incomplete")
+	}
+	return s
+}

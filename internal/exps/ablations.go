@@ -15,6 +15,7 @@ import (
 // reporting runtime and the top-down/bottom-up level split per setting.
 func AblationAlpha(cfg Config) *Table {
 	cfg = cfg.defaults()
+	defer cfg.obsTable("AblationAlpha")()
 	alphas := []float64{1, 2, 5, 10, 50}
 	t := &Table{
 		Title:  fmt.Sprintf("Ablation: α threshold sweep (MS-BFS-Graft, %d threads)", cfg.Threads),
@@ -29,6 +30,7 @@ func AblationAlpha(cfg Config) *Table {
 				s := core.Run(inst.Graph, m, core.Options{
 					Threads: cfg.Threads, Alpha: a,
 					DirectionOptimized: true, Grafting: true,
+					Recorder: cfg.Recorder,
 				}.Defaults())
 				ms := float64(s.Runtime.Nanoseconds()) / 1e6
 				if best == 0 || ms < best {
@@ -49,6 +51,7 @@ func AblationAlpha(cfg Config) *Table {
 // heuristics initialize maximum matching algorithms).
 func AblationInit(cfg Config) *Table {
 	cfg = cfg.defaults()
+	defer cfg.obsTable("AblationInit")()
 	t := &Table{
 		Title:  fmt.Sprintf("Ablation: initializer choice before MS-BFS-Graft (%d threads)", cfg.Threads),
 		Header: []string{"graph", "init", "init |M|", "final |M|", "exact phases", "exact time(ms)"},
@@ -67,7 +70,9 @@ func AblationInit(cfg Config) *Table {
 				m = matchinit.ParallelKarpSipser(inst.Graph, cfg.Threads)
 			}
 			initCard := m.Cardinality()
-			s := core.Run(inst.Graph, m, core.FullOptions(cfg.Threads))
+			fo := core.FullOptions(cfg.Threads)
+			fo.Recorder = cfg.Recorder
+			s := core.Run(inst.Graph, m, fo)
 			t.AddRow(inst.Name, c, fI(initCard), fI(s.FinalCardinality),
 				fI(s.Phases), f2(float64(s.Runtime.Nanoseconds())/1e6))
 		}
@@ -79,6 +84,7 @@ func AblationInit(cfg Config) *Table {
 // vector (the paper's __sync_fetch_and_or analog) on the full suite.
 func AblationVisited(cfg Config) *Table {
 	cfg = cfg.defaults()
+	defer cfg.obsTable("AblationVisited")()
 	t := &Table{
 		Title:  fmt.Sprintf("Ablation: visited-flag representation (%d threads)", cfg.Threads),
 		Header: []string{"graph", "int32 array (ms)", "bit vector (ms)", "ratio"},
@@ -114,6 +120,7 @@ func measureCore(inst Instance, cfg Config, opts core.Options) float64 {
 // BSP cost model (supersteps and message volume) across rank counts.
 func Distributed(cfg Config) *Table {
 	cfg = cfg.defaults()
+	defer cfg.obsTable("Distributed")()
 	t := &Table{
 		Title:  "Extension: distributed-memory MS-BFS-Graft (BSP simulation)",
 		Header: []string{"graph", "ranks", "|M|", "phases", "supersteps", "messages", "grafts"},
@@ -121,7 +128,7 @@ func Distributed(cfg Config) *Table {
 	for _, inst := range Fig1Suite(cfg.Scale) {
 		for _, k := range []int{1, 4, 16} {
 			m := initFor(inst.Graph)
-			s := dist.Run(inst.Graph, m, dist.Options{Ranks: k, Grafting: true})
+			s := dist.Run(inst.Graph, m, dist.Options{Ranks: k, Grafting: true, Recorder: cfg.Recorder})
 			t.AddRow(inst.Name, fI(int64(k)), fI(s.FinalCardinality),
 				fI(s.Phases), fI(s.Supersteps), fI(s.Messages), fI(s.Grafts))
 		}
@@ -135,6 +142,7 @@ func Distributed(cfg Config) *Table {
 // complement to Fig7, recorded in EXPERIMENTS.md.
 func Fig7XL(cfg Config) *Table {
 	cfg = cfg.defaults()
+	defer cfg.obsTable("Fig7XL")()
 	t := &Table{
 		Title:  "Fig. 7 (XL): contributions on larger single instances",
 		Header: []string{"graph", "n", "MS-BFS(ms)", "+DirOpt", "+Graft", "+Both"},

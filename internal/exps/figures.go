@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"graftmatch/internal/matching"
+	"graftmatch/internal/obs"
 	"graftmatch/internal/par"
 )
 
@@ -18,6 +19,19 @@ type Config struct {
 	// Reps is the repetition count for timed cells; 0 means 3
 	// (the paper uses 10; see -reps in cmd/matchbench).
 	Reps int
+
+	// Recorder, when non-nil, receives one "exps" span per table built plus
+	// the engine metrics of untimed runs, so a long experiment sweep is
+	// observable live over the same HTTP surface as a matching run. Timed
+	// (Measure) cells run unrecorded to keep the measurement undisturbed.
+	Recorder *obs.Recorder
+}
+
+// obsTable brackets one experiment table build with an "exps" span; use as
+// `defer cfg.obsTable("Fig6")()`. Nil-safe through the recorder.
+func (c Config) obsTable(name string) func() {
+	start := time.Now()
+	return func() { c.Recorder.Span("exps", name, start, time.Since(start), 0) }
 }
 
 func (c Config) defaults() Config {
@@ -34,6 +48,7 @@ func (c Config) defaults() Config {
 // machine-description table.
 func TableI(cfg Config) *Table {
 	cfg = cfg.defaults()
+	defer cfg.obsTable("TableI")()
 	t := &Table{
 		Title:  "Table I: system description (this host)",
 		Header: []string{"feature", "value"},
@@ -51,13 +66,14 @@ func TableI(cfg Config) *Table {
 // fraction of |V| (computed exactly with MS-BFS-Graft), grouped by class.
 func TableII(cfg Config) *Table {
 	cfg = cfg.defaults()
+	defer cfg.obsTable("TableII")()
 	t := &Table{
 		Title:  "Table II: input graph suite (synthetic stand-ins)",
 		Header: []string{"class", "graph", "|X|", "|Y|", "m=|E|", "avg deg", "matching frac"},
 	}
 	for _, inst := range Suite(cfg.Scale) {
 		g := inst.Graph
-		stats := Run(AlgoGraft, g, cfg.Threads)
+		stats := RunWith(AlgoGraft, g, cfg.Threads, cfg.Recorder)
 		frac := float64(2*stats.FinalCardinality) / float64(g.NumVertices())
 		t.AddRow(inst.Class.String(), inst.Name,
 			fI(int64(g.NX())), fI(int64(g.NY())), fI(g.NumArcs()),
@@ -75,6 +91,7 @@ var fig1Algos = []Algo{AlgoSSDFS, AlgoSSBFS, AlgoPF, AlgoMSBFS, AlgoHK}
 // representative graphs, all Karp–Sipser initialized.
 func Fig1(cfg Config) []*Table {
 	cfg = cfg.defaults()
+	defer cfg.obsTable("Fig1")()
 	edges := &Table{Title: "Fig. 1(a): edges traversed (serial, greedy init)",
 		Header: []string{"graph"}}
 	phases := &Table{Title: "Fig. 1(b): number of phases",
@@ -91,7 +108,7 @@ func Fig1(cfg Config) []*Table {
 		pr := []string{inst.Name}
 		lr := []string{inst.Name}
 		for _, a := range fig1Algos {
-			s := Run(a, inst.Graph, 1)
+			s := RunWith(a, inst.Graph, 1, cfg.Recorder)
 			er = append(er, fI(s.EdgesTraversed))
 			pr = append(pr, fI(s.Phases))
 			lr = append(lr, f2(s.AvgAugPathLen()))
@@ -108,6 +125,7 @@ func Fig1(cfg Config) []*Table {
 // algorithm on each graph (slowest = 1), the paper's normalization.
 func Fig3(cfg Config) *Table {
 	cfg = cfg.defaults()
+	defer cfg.obsTable("Fig3")()
 	algos := []Algo{AlgoGraft, AlgoPF, AlgoPR}
 	t := &Table{
 		Title: fmt.Sprintf("Fig. 3: relative speedup vs slowest (1 and %d threads, %d reps)", cfg.Threads, cfg.Reps),
@@ -148,6 +166,7 @@ func Fig3(cfg Config) *Table {
 // of Pothen–Fan vs MS-BFS-Graft on P threads.
 func Fig4(cfg Config) *Table {
 	cfg = cfg.defaults()
+	defer cfg.obsTable("Fig4")()
 	t := &Table{
 		Title:  fmt.Sprintf("Fig. 4: search rate in MTEPS (%d threads)", cfg.Threads),
 		Header: []string{"graph", "Pothen-Fan", "MS-BFS-Graft", "ratio"},
@@ -179,6 +198,7 @@ func mteps(t Timing) float64 {
 // the serial MS-BFS-Graft run.
 func Fig5(cfg Config) *Table {
 	cfg = cfg.defaults()
+	defer cfg.obsTable("Fig5")()
 	threads := threadSweep(cfg.Threads)
 	t := &Table{Title: "Fig. 5: strong scaling of MS-BFS-Graft (speedup vs 1 thread)",
 		Header: []string{"class"}}
@@ -226,6 +246,7 @@ func threadSweep(max int) []int {
 // Top-Down, Bottom-Up, Augment, Tree-Grafting and Statistics steps.
 func Fig6(cfg Config) *Table {
 	cfg = cfg.defaults()
+	defer cfg.obsTable("Fig6")()
 	steps := []matching.Step{matching.StepTopDown, matching.StepBottomUp,
 		matching.StepAugment, matching.StepGraft, matching.StepStatistics}
 	t := &Table{
@@ -236,7 +257,7 @@ func Fig6(cfg Config) *Table {
 		t.Header = append(t.Header, s.String())
 	}
 	for _, inst := range Suite(cfg.Scale) {
-		s := Run(AlgoGraft, inst.Graph, cfg.Threads)
+		s := RunWith(AlgoGraft, inst.Graph, cfg.Threads, cfg.Recorder)
 		row := []string{inst.Name}
 		for _, step := range steps {
 			row = append(row, f2(s.StepShare(step)*100))
@@ -251,6 +272,7 @@ func Fig6(cfg Config) *Table {
 // tree grafting, reported as speedup over plain parallel MS-BFS.
 func Fig7(cfg Config) *Table {
 	cfg = cfg.defaults()
+	defer cfg.obsTable("Fig7")()
 	t := &Table{
 		Title:  fmt.Sprintf("Fig. 7: performance contributions over MS-BFS (%d threads)", cfg.Threads),
 		Header: []string{"graph", "MS-BFS(ms)", "+DirOpt", "+Graft", "+Both(Graft alg)"},
@@ -283,6 +305,7 @@ func speedupStr(base, v time.Duration) string {
 // the unmatched vertices before shrinking.
 func Fig8(cfg Config) *Table {
 	cfg = cfg.defaults()
+	defer cfg.obsTable("Fig8")()
 	inst, ok := ByName(cfg.Scale, "coPapersDBLP")
 	if !ok {
 		panic("exps: coPapersDBLP missing from suite") //lint:ignore err-checked experiment-driver invariant: the built-in suite always contains this instance
@@ -315,6 +338,7 @@ func Fig8(cfg Config) *Table {
 // the three parallel algorithms over repeated runs.
 func Psi(cfg Config) *Table {
 	cfg = cfg.defaults()
+	defer cfg.obsTable("Psi")()
 	reps := cfg.Reps
 	if reps < 5 {
 		reps = 5

@@ -11,6 +11,7 @@ import (
 	"graftmatch/internal/matching"
 	"graftmatch/internal/matchinit"
 	"graftmatch/internal/msbfs"
+	"graftmatch/internal/obs"
 	"graftmatch/internal/pf"
 	"graftmatch/internal/pushrelabel"
 	"graftmatch/internal/ssbfs"
@@ -49,7 +50,13 @@ func initFor(g *bipartite.Graph) *matching.Matching {
 // Run executes algo on g with p threads, greedy-initialized (see initFor),
 // and returns the run statistics.
 func Run(algo Algo, g *bipartite.Graph, p int) *matching.Stats {
-	return runOn(algo, g, initFor(g), p)
+	return runOn(algo, g, initFor(g), p, nil)
+}
+
+// RunWith is Run with a live observability recorder threaded into the
+// engines that support one (MS-BFS family, PF, PR); rec may be nil.
+func RunWith(algo Algo, g *bipartite.Graph, p int, rec *obs.Recorder) *matching.Stats {
+	return runOn(algo, g, initFor(g), p, rec)
 }
 
 // RunTraced is Run with frontier tracing enabled (Fig. 8); only meaningful
@@ -62,24 +69,30 @@ func RunTraced(algo Algo, g *bipartite.Graph, p int) *matching.Stats {
 	case AlgoMSBFS:
 		return core.Run(g, m, core.Options{Threads: p, TraceFrontiers: true}.Defaults())
 	default:
-		return runOn(algo, g, m, p)
+		return runOn(algo, g, m, p, nil)
 	}
 }
 
-func runOn(algo Algo, g *bipartite.Graph, m *matching.Matching, p int) *matching.Stats {
+func runOn(algo Algo, g *bipartite.Graph, m *matching.Matching, p int, rec *obs.Recorder) *matching.Stats {
 	switch algo {
 	case AlgoGraft:
-		return core.Run(g, m, core.FullOptions(p))
+		opts := core.FullOptions(p)
+		opts.Recorder = rec
+		return core.Run(g, m, opts)
 	case AlgoMSBFS:
 		return msbfs.Run(g, m, p)
 	case AlgoDirOpt:
 		return msbfs.RunDirOpt(g, m, p)
 	case AlgoGraftTD:
-		return core.Run(g, m, core.Options{Threads: p, Grafting: true}.Defaults())
+		return core.Run(g, m, core.Options{Threads: p, Grafting: true, Recorder: rec}.Defaults())
 	case AlgoPF:
-		return pf.Run(g, m, p)
+		s, err := pf.RunCtx(nil, g, m, pf.Options{Threads: p, Recorder: rec})
+		if err != nil {
+			panic(err) //lint:ignore err-checked background context: only a contained worker panic can surface here, and re-raising matches pf.Run
+		}
+		return s
 	case AlgoPR:
-		return pushrelabel.Run(g, m, pushrelabel.Options{Threads: p})
+		return pushrelabel.Run(g, m, pushrelabel.Options{Threads: p, Recorder: rec})
 	case AlgoHK:
 		return hk.Run(g, m)
 	case AlgoSSBFS:
@@ -126,7 +139,9 @@ func Measure(algo Algo, g *bipartite.Graph, p, reps int) Timing {
 	for r := 0; r < reps; r++ {
 		m := initFor(g)
 		start := time.Now()
-		last = runOn(algo, g, m, p)
+		// Timed cells run unrecorded: the measurement should not include
+		// even the (tiny) recorder tax.
+		last = runOn(algo, g, m, p, nil)
 		times = append(times, time.Since(start))
 	}
 	tm := Timing{Algo: algo, Threads: p, Reps: reps, Last: last}

@@ -22,6 +22,10 @@ const (
 	numSteps
 )
 
+// NumSteps is the number of step buckets in Stats.StepTime, exported so
+// instrumentation layers can size per-step metric tables in Step order.
+const NumSteps = int(numSteps)
+
 // String returns the paper's name for the step.
 func (s Step) String() string {
 	switch s {
@@ -74,8 +78,17 @@ type Stats struct {
 	BottomUpLevels int64
 
 	// FrontierTrace, when enabled, records the frontier size at every
-	// BFS level of every phase (Fig. 8). Indexed [phase][level].
+	// BFS level of every phase (Fig. 8). Indexed [phase][level]. Growth is
+	// bounded: at most FrontierTraceMaxPhases phases of at most
+	// FrontierTraceMaxLevels levels each are retained, and
+	// FrontierTraceTruncated is set when an adversarial instance (one
+	// augmenting path per phase, or a path-graph diameter) overruns either
+	// cap.
 	FrontierTrace [][]int64
+
+	// FrontierTraceTruncated reports that FrontierTrace hit one of its caps
+	// and is missing later phases or levels.
+	FrontierTraceTruncated bool
 
 	// StepTime is the wall-clock breakdown (Fig. 6).
 	StepTime [numSteps]time.Duration
@@ -91,6 +104,35 @@ type Stats struct {
 	Complete bool
 
 	Threads int
+}
+
+// FrontierTrace caps: a phase count of 4096 covers every instance in the
+// paper's evaluation by orders of magnitude (MS-BFS-Graft needs tens of
+// phases on RMAT at scale 24), while bounding the worst case — one
+// augmenting path per phase on an adversarial instance — to ~32 MiB of
+// trace instead of O(|V|) slices.
+const (
+	// FrontierTraceMaxPhases bounds the number of phases retained.
+	FrontierTraceMaxPhases = 4096
+
+	// FrontierTraceMaxLevels bounds the BFS levels retained per phase.
+	FrontierTraceMaxLevels = 4096
+)
+
+// AppendFrontierTrace appends one phase's per-level frontier sizes,
+// enforcing the documented caps: phases beyond FrontierTraceMaxPhases are
+// dropped and over-long phases are cut at FrontierTraceMaxLevels, setting
+// FrontierTraceTruncated either way.
+func (s *Stats) AppendFrontierTrace(trace []int64) {
+	if len(s.FrontierTrace) >= FrontierTraceMaxPhases {
+		s.FrontierTraceTruncated = true
+		return
+	}
+	if len(trace) > FrontierTraceMaxLevels {
+		trace = trace[:FrontierTraceMaxLevels]
+		s.FrontierTraceTruncated = true
+	}
+	s.FrontierTrace = append(s.FrontierTrace, trace)
 }
 
 // AvgAugPathLen returns the mean augmenting path length in edges.
@@ -125,7 +167,11 @@ func (s *Stats) StepShare(step Step) float64 {
 	return float64(s.StepTime[step]) / float64(total)
 }
 
-// String renders a multi-line report.
+// String renders a multi-line report: the headline counters, a [PARTIAL]
+// marker when the run stopped before a maximum matching (cancellation or
+// deadline — previously dropped, letting -stats output claim success on a
+// partial run), and the Fig. 6 step-time breakdown when step times were
+// recorded.
 func (s *Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: |M| %d -> %d, phases=%d, edges=%d, augpaths=%d (avg len %.2f), time=%s",
@@ -133,6 +179,25 @@ func (s *Stats) String() string {
 		s.EdgesTraversed, s.AugPaths, s.AvgAugPathLen(), s.Runtime)
 	if s.Grafts+s.Rebuilds > 0 {
 		fmt.Fprintf(&b, ", grafts=%d rebuilds=%d", s.Grafts, s.Rebuilds)
+	}
+	if !s.Complete {
+		b.WriteString(" [PARTIAL: stopped before a maximum matching]")
+	}
+	var stepTotal time.Duration
+	for i := Step(0); i < numSteps; i++ {
+		stepTotal += s.StepTime[i]
+	}
+	if stepTotal > 0 {
+		b.WriteString("\n  steps:")
+		for i := Step(0); i < numSteps; i++ {
+			if s.StepTime[i] == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, " %s %.1f%% (%s)", i, 100*s.StepShare(i), s.StepTime[i].Round(time.Microsecond))
+		}
+	}
+	if s.FrontierTraceTruncated {
+		b.WriteString("\n  frontier trace truncated at cap")
 	}
 	return b.String()
 }

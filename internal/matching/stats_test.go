@@ -60,13 +60,92 @@ func TestStepShare(t *testing.T) {
 }
 
 func TestStatsString(t *testing.T) {
-	s := &Stats{Algorithm: "X", Grafts: 2, Rebuilds: 1}
-	out := s.String()
-	if !strings.Contains(out, "X:") || !strings.Contains(out, "grafts=2") {
-		t.Fatalf("unexpected String: %q", out)
+	withSteps := &Stats{Algorithm: "G", Complete: true}
+	withSteps.AddStep(StepTopDown, 3*time.Second)
+	withSteps.AddStep(StepGraft, time.Second)
+
+	tests := []struct {
+		name     string
+		stats    *Stats
+		want     []string
+		dontWant []string
+	}{
+		{
+			name:     "grafting run",
+			stats:    &Stats{Algorithm: "X", Grafts: 2, Rebuilds: 1, Complete: true},
+			want:     []string{"X:", "grafts=2 rebuilds=1"},
+			dontWant: []string{"PARTIAL", "steps:"},
+		},
+		{
+			name:     "plain run hides graft counters",
+			stats:    &Stats{Algorithm: "Y", Complete: true},
+			dontWant: []string{"grafts"},
+		},
+		{
+			name:  "partial run is flagged",
+			stats: &Stats{Algorithm: "Z"},
+			want:  []string{"[PARTIAL: stopped before a maximum matching]"},
+		},
+		{
+			name:  "step-time breakdown (Fig. 6)",
+			stats: withSteps,
+			// 3s of 4s accounted step time is 75%; zero-time steps are
+			// omitted from the breakdown line.
+			want:     []string{"steps:", "Top-Down 75.0% (3s)", "Tree-Grafting 25.0% (1s)"},
+			dontWant: []string{"Bottom-Up", "Augment 0", "Statistics"},
+		},
+		{
+			name:  "truncated frontier trace is flagged",
+			stats: &Stats{Algorithm: "T", Complete: true, FrontierTraceTruncated: true},
+			want:  []string{"frontier trace truncated"},
+		},
 	}
-	plain := &Stats{Algorithm: "Y"}
-	if strings.Contains(plain.String(), "grafts") {
-		t.Fatal("graft counters shown for non-grafting run")
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			out := tt.stats.String()
+			for _, w := range tt.want {
+				if !strings.Contains(out, w) {
+					t.Errorf("String() missing %q:\n%s", w, out)
+				}
+			}
+			for _, dw := range tt.dontWant {
+				if strings.Contains(out, dw) {
+					t.Errorf("String() unexpectedly contains %q:\n%s", dw, out)
+				}
+			}
+		})
+	}
+}
+
+func TestAppendFrontierTraceCaps(t *testing.T) {
+	s := &Stats{}
+	long := make([]int64, FrontierTraceMaxLevels+10)
+	s.AppendFrontierTrace(long)
+	if !s.FrontierTraceTruncated {
+		t.Error("over-long phase did not set the truncation marker")
+	}
+	if got := len(s.FrontierTrace[0]); got != FrontierTraceMaxLevels {
+		t.Errorf("phase kept %d levels, want %d", got, FrontierTraceMaxLevels)
+	}
+
+	s = &Stats{}
+	for i := 0; i < FrontierTraceMaxPhases+5; i++ {
+		s.AppendFrontierTrace([]int64{int64(i)})
+	}
+	if len(s.FrontierTrace) != FrontierTraceMaxPhases {
+		t.Errorf("kept %d phases, want %d", len(s.FrontierTrace), FrontierTraceMaxPhases)
+	}
+	if !s.FrontierTraceTruncated {
+		t.Error("overflowing phases did not set the truncation marker")
+	}
+	// The retained prefix is the earliest phases, in order.
+	if s.FrontierTrace[0][0] != 0 || s.FrontierTrace[FrontierTraceMaxPhases-1][0] != FrontierTraceMaxPhases-1 {
+		t.Error("retained phases out of order")
+	}
+
+	s = &Stats{}
+	s.AppendFrontierTrace([]int64{1, 2, 3})
+	if s.FrontierTraceTruncated || len(s.FrontierTrace) != 1 {
+		t.Errorf("in-bounds append mangled: %+v", s.FrontierTrace)
 	}
 }

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The zero-overhead contract: with a nil recorder (the engines' default)
+// every instrumentation call — including calls through nil metric handles —
+// performs zero heap allocations. This is the gate that keeps the
+// observability layer off the hot paths PR 4 reclaimed.
+func TestNoopRecorderZeroAlloc(t *testing.T) {
+	var rec *Recorder
+	c := rec.Counter("graftmatch_x_total", "")
+	g := rec.Gauge("graftmatch_x", "")
+	h := rec.Histogram("graftmatch_x_ns", "")
+	start := time.Now()
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Add(1, 5)
+		g.Set(9)
+		h.Observe(1, 123)
+		rec.Span("core", "phase", start, time.Millisecond, 7)
+		rec.PhaseDone("core", 1, 2)
+		_ = c.Value()
+	})
+	if allocs != 0 {
+		t.Errorf("no-op recorder: %v allocs/op, want 0", allocs)
+	}
+}
+
+// A live recorder's per-phase hot calls are allocation-free too: counter
+// adds, gauge sets, histogram observes, and span records all write into
+// preallocated padded slots or the ring buffer.
+func TestLiveRecorderHotPathZeroAlloc(t *testing.T) {
+	rec := New(Config{Workers: 4, TraceCapacity: 1024})
+	c := rec.Counter("graftmatch_x_total", "")
+	g := rec.Gauge("graftmatch_x", "")
+	h := rec.Histogram("graftmatch_x_ns", "")
+	start := time.Now()
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Add(1, 5)
+		g.Set(9)
+		h.Observe(1, 123)
+		rec.Span("core", "phase", start, time.Millisecond, 7)
+		_ = c.Value()
+	})
+	if allocs != 0 {
+		t.Errorf("live recorder hot path: %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkNoopRecorder(b *testing.B) {
+	var rec *Recorder
+	c := rec.Counter("graftmatch_x_total", "")
+	h := rec.Histogram("graftmatch_x_ns", "")
+	start := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(0, 1)
+		h.Observe(0, int64(i))
+		rec.Span("core", "phase", start, time.Microsecond, int64(i))
+	}
+}
+
+func BenchmarkLiveRecorder(b *testing.B) {
+	rec := New(Config{Workers: 4, TraceCapacity: 4096})
+	c := rec.Counter("graftmatch_x_total", "")
+	h := rec.Histogram("graftmatch_x_ns", "")
+	start := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(0, 1)
+		h.Observe(0, int64(i))
+		rec.Span("core", "phase", start, time.Microsecond, int64(i))
+	}
+}

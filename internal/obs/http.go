@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the operational HTTP surface for one recorder:
+//
+//	/               endpoint index
+//	/metrics        Prometheus text exposition
+//	/metrics.json   folded registry as JSON
+//	/status         live run status (phase, cardinality, rung, checkpoint)
+//	/trace          Chrome trace-event JSON (about://tracing, Perfetto)
+//	/trace/summary  human-readable flame summary of the span ring
+//	/debug/pprof/   stdlib pprof (profile, heap, goroutine, ...)
+//	/debug/vars     stdlib expvar
+//
+// Every endpoint reads shared state through atomics or short mutexes, so
+// scraping a live run never blocks the engines.
+func Handler(rec *Recorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// Error deliberately dropped: a vanished scraper is not our problem.
+		_, _ = w.Write([]byte(indexText))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = rec.Registry().WritePrometheus(w) // write error means the scraper went away
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(rec.Registry().Snapshot())
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(rec.Status())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = rec.Tracer().WriteChromeTrace(w) // write error means the scraper went away
+	})
+	mux.HandleFunc("/trace/summary", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = rec.Tracer().WriteFlameSummary(w) // write error means the scraper went away
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+const indexText = `graftmatch observability surface
+  /metrics        Prometheus text exposition
+  /metrics.json   metrics registry as JSON
+  /status         live run status (phase, cardinality, rung, last checkpoint)
+  /trace          Chrome trace-event JSON (load in Perfetto / about://tracing)
+  /trace/summary  flame summary of the span ring
+  /debug/pprof/   stdlib pprof
+  /debug/vars     stdlib expvar
+`

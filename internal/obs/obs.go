@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config sizes a Recorder.
+type Config struct {
+	// Workers is the number of per-worker metric slots; 0 means GOMAXPROCS
+	// at construction time. Sizing it to the engine's thread count keeps
+	// every worker on its own cache line.
+	Workers int
+
+	// TraceCapacity bounds the span ring buffer; 0 means 16384. Older
+	// spans are dropped (and counted) once the ring wraps.
+	TraceCapacity int
+}
+
+// Recorder is the hub the engines record into: a metrics registry, a span
+// tracer, and a run-status snapshot, plus pre-registered handles for the
+// cross-engine metrics (run gauges, checkpoint and supervision counters).
+//
+// A nil *Recorder is the no-op default: every method (and every handle a nil
+// recorder returns) degrades to a nil check, so instrumented engines run
+// allocation-free and effectively untaxed when nobody is observing. The
+// alloc tests in this package pin that property.
+type Recorder struct {
+	reg    *Registry
+	tracer *Tracer
+
+	mu     sync.Mutex
+	status RunStatus
+
+	phaseG    *Gauge
+	cardG     *Gauge
+	completeG *Gauge
+	rungC     *Counter
+	ckptC     *Counter
+	ckptBytes *Counter
+	ckptFsync *Histogram
+}
+
+// New builds a live Recorder.
+func New(cfg Config) *Recorder {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	r := &Recorder{
+		reg:    newRegistry(workers),
+		tracer: newTracer(cfg.TraceCapacity),
+	}
+	r.phaseG = r.reg.Gauge("graftmatch_run_phase", "current search phase of the live run")
+	r.cardG = r.reg.Gauge("graftmatch_run_cardinality", "matching cardinality after the last completed phase")
+	r.completeG = r.reg.Gauge("graftmatch_run_complete", "1 once the run reached a maximum matching, else 0")
+	r.rungC = r.reg.Counter("graftmatch_supervise_rung_transitions_total", "supervision ladder rung starts")
+	r.ckptC = r.reg.Counter("graftmatch_checkpoint_snapshots_total", "checkpoint snapshots written")
+	r.ckptBytes = r.reg.Counter("graftmatch_checkpoint_bytes_total", "checkpoint bytes written")
+	r.ckptFsync = r.reg.Histogram("graftmatch_checkpoint_fsync_ns", "checkpoint fsync latency in nanoseconds")
+	return r
+}
+
+// Workers returns the per-worker slot count metrics were sized for (0 for a
+// nil recorder).
+func (r *Recorder) Workers() int {
+	if r == nil {
+		return 0
+	}
+	return r.reg.workers
+}
+
+// Counter returns (creating on first use) a named counter handle, or nil on
+// a nil recorder — the nil handle is itself a valid no-op.
+func (r *Recorder) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.reg.Counter(name, help)
+}
+
+// Gauge returns a named gauge handle; nil-safe as Counter.
+func (r *Recorder) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.reg.Gauge(name, help)
+}
+
+// Histogram returns a named histogram handle; nil-safe as Counter.
+func (r *Recorder) Histogram(name, help string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.reg.Histogram(name, help)
+}
+
+// Registry exposes the underlying registry (nil on a nil recorder), for the
+// HTTP surface and tests.
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Tracer exposes the underlying tracer (nil on a nil recorder).
+func (r *Recorder) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
+}
+
+// Span records one completed phase/step/superstep interval. Nil-safe,
+// allocation-free, intended for driver goroutines at phase granularity —
+// never per edge or per vertex.
+func (r *Recorder) Span(cat, name string, start time.Time, d time.Duration, arg int64) {
+	if r == nil {
+		return
+	}
+	r.tracer.Record(cat, name, start, d, arg)
+}
+
+// RunStatus is the live status snapshot served at /status.
+type RunStatus struct {
+	Algorithm      string `json:"algorithm,omitempty"`
+	Running        bool   `json:"running"`
+	Complete       bool   `json:"complete"`
+	Phase          int64  `json:"phase"`
+	Cardinality    int64  `json:"cardinality"`
+	Rung           string `json:"rung,omitempty"`
+	RungOutcome    string `json:"rung_outcome,omitempty"`
+	LastCheckpoint string `json:"last_checkpoint,omitempty"`
+	GraphRows      int64  `json:"graph_rows,omitempty"`
+	GraphCols      int64  `json:"graph_cols,omitempty"`
+	GraphEdges     int64  `json:"graph_edges,omitempty"`
+	StartedAt      int64  `json:"started_at_unix_ns,omitempty"`
+	UpdatedAt      int64  `json:"updated_at_unix_ns,omitempty"`
+}
+
+// Status returns the current run-status snapshot (zero value on a nil
+// recorder).
+func (r *Recorder) Status() RunStatus {
+	if r == nil {
+		return RunStatus{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}
+
+// SetGraph records the instance dimensions for the status surface.
+func (r *Recorder) SetGraph(rows, cols, edges int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.status.GraphRows, r.status.GraphCols, r.status.GraphEdges = rows, cols, edges
+	r.mu.Unlock()
+}
+
+// RunStart marks the beginning of a run on the status surface and resets
+// the run gauges.
+func (r *Recorder) RunStart(algorithm string) {
+	if r == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	r.mu.Lock()
+	r.status.Algorithm = algorithm
+	r.status.Running = true
+	r.status.Complete = false
+	r.status.Phase = 0
+	r.status.StartedAt = now
+	r.status.UpdatedAt = now
+	r.mu.Unlock()
+	r.phaseG.Set(0)
+	r.completeG.Set(0)
+}
+
+// PhaseDone publishes the state after one completed phase: the engines call
+// it from their driver goroutine at the same boundary that fires OnPhase,
+// so /status and the run gauges lag the engine by at most one phase.
+func (r *Recorder) PhaseDone(engine string, phase, cardinality int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if engine != "" {
+		r.status.Algorithm = engine
+	}
+	r.status.Phase = phase
+	r.status.Cardinality = cardinality
+	r.status.UpdatedAt = time.Now().UnixNano()
+	r.mu.Unlock()
+	r.phaseG.Set(phase)
+	r.cardG.Set(cardinality)
+}
+
+// RunDone marks the end of a run.
+func (r *Recorder) RunDone(complete bool, cardinality int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.status.Running = false
+	r.status.Complete = complete
+	r.status.Cardinality = cardinality
+	r.status.UpdatedAt = time.Now().UnixNano()
+	r.mu.Unlock()
+	r.cardG.Set(cardinality)
+	if complete {
+		r.completeG.Set(1)
+	}
+}
+
+// RungStart records a supervision ladder transition onto engine `rung`.
+func (r *Recorder) RungStart(rung string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.status.Rung = rung
+	r.status.RungOutcome = ""
+	r.status.UpdatedAt = time.Now().UnixNano()
+	r.mu.Unlock()
+	r.rungC.Add(0, 1)
+}
+
+// RungEnd records how the current supervision rung ended.
+func (r *Recorder) RungEnd(rung, outcome string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.status.Rung = rung
+	r.status.RungOutcome = outcome
+	r.status.UpdatedAt = time.Now().UnixNano()
+	r.mu.Unlock()
+}
+
+// CheckpointSaved records one durable snapshot: its path on the status
+// surface, and bytes + fsync latency in the registry.
+func (r *Recorder) CheckpointSaved(path string, bytes int64, fsync time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.status.LastCheckpoint = path
+	r.status.UpdatedAt = time.Now().UnixNano()
+	r.mu.Unlock()
+	r.ckptC.Add(0, 1)
+	r.ckptBytes.Add(0, bytes)
+	r.ckptFsync.Observe(0, int64(fsync))
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := newTracer(4)
+	base := time.Unix(1000, 0)
+	for i := 0; i < 10; i++ {
+		tr.Record("core", "phase", base.Add(time.Duration(i)*time.Millisecond), time.Millisecond, int64(i))
+	}
+	spans, dropped := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	if dropped != 6 {
+		t.Errorf("dropped = %d, want 6", dropped)
+	}
+	for i, s := range spans {
+		if want := int64(6 + i); s.Arg != want {
+			t.Errorf("span %d arg = %d, want %d (newest spans in order)", i, s.Arg, want)
+		}
+	}
+}
+
+func TestTracerPartialRing(t *testing.T) {
+	tr := newTracer(8)
+	tr.Record("pf", "phase", time.Unix(5, 0), time.Second, 1)
+	spans, dropped := tr.Snapshot()
+	if len(spans) != 1 || dropped != 0 {
+		t.Fatalf("spans=%d dropped=%d", len(spans), dropped)
+	}
+	if spans[0].Cat != "pf" || spans[0].Name != "phase" || spans[0].Dur != int64(time.Second) {
+		t.Errorf("span = %+v", spans[0])
+	}
+}
+
+// chromeTrace mirrors the Chrome trace-event JSON object form.
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	DroppedSpans    uint64        `json:"droppedSpans"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"`
+	Dur  float64          `json:"dur"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	Args map[string]int64 `json:"args"`
+}
+
+func TestChromeTraceJSONSchema(t *testing.T) {
+	tr := newTracer(16)
+	base := time.Unix(100, 0)
+	tr.Record("core", "top-down", base, 1500*time.Microsecond, 33)
+	tr.Record("core", "phase", base, 2*time.Millisecond, 1)
+	tr.Record("checkpoint", "save", base.Add(time.Millisecond), 400*time.Microsecond, 1024)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ct chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(ct.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(ct.TraceEvents))
+	}
+	tidOf := map[string]int{}
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q ph = %q, want X (complete event)", ev.Name, ev.Ph)
+		}
+		if ev.Ts < 0 || ev.Dur <= 0 {
+			t.Errorf("event %q ts=%v dur=%v", ev.Name, ev.Ts, ev.Dur)
+		}
+		if prev, ok := tidOf[ev.Cat]; ok && prev != ev.Tid {
+			t.Errorf("category %q spread over tids %d and %d", ev.Cat, prev, ev.Tid)
+		}
+		tidOf[ev.Cat] = ev.Tid
+		if _, ok := ev.Args["v"]; !ok {
+			t.Errorf("event %q missing args.v", ev.Name)
+		}
+	}
+	if len(tidOf) != 2 {
+		t.Errorf("expected 2 distinct category tracks, got %v", tidOf)
+	}
+	// Timestamps are relative to the earliest span, in microseconds.
+	var sawSave bool
+	for _, ev := range ct.TraceEvents {
+		if ev.Name == "save" {
+			sawSave = true
+			if ev.Ts != 1000 {
+				t.Errorf("save ts = %v µs, want 1000", ev.Ts)
+			}
+			if ev.Dur != 400 {
+				t.Errorf("save dur = %v µs, want 400", ev.Dur)
+			}
+		}
+	}
+	if !sawSave {
+		t.Error("save event missing")
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	tr := newTracer(4)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ct chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("empty trace invalid: %v", err)
+	}
+	if len(ct.TraceEvents) != 0 {
+		t.Errorf("events = %v", ct.TraceEvents)
+	}
+}
+
+func TestAppendJSONStringEscapes(t *testing.T) {
+	got := string(appendJSONString(nil, "a\"b\\c\nd"))
+	var back string
+	if err := json.Unmarshal([]byte(got), &back); err != nil {
+		t.Fatalf("escaped form %q invalid: %v", got, err)
+	}
+	if back != "a\"b\\c\nd" {
+		t.Errorf("round trip = %q", back)
+	}
+}
+
+func TestFlameSummary(t *testing.T) {
+	tr := newTracer(16)
+	base := time.Unix(0, 0)
+	tr.Record("core", "top-down", base, 3*time.Millisecond, 0)
+	tr.Record("core", "top-down", base, 1*time.Millisecond, 0)
+	tr.Record("core", "augment", base, 10*time.Millisecond, 0)
+	var buf bytes.Buffer
+	if err := tr.WriteFlameSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "core/top-down: count=2") {
+		t.Errorf("missing aggregated top-down row in:\n%s", out)
+	}
+	if !strings.Contains(out, "core/augment: count=1") {
+		t.Errorf("missing augment row in:\n%s", out)
+	}
+	// Sorted by total descending: augment (10ms) before top-down (4ms).
+	if strings.Index(out, "core/augment") > strings.Index(out, "core/top-down") {
+		t.Errorf("rows not sorted by total desc:\n%s", out)
+	}
+	if !strings.Contains(out, "3 spans retained, 0 dropped") {
+		t.Errorf("missing header in:\n%s", out)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record("x", "y", time.Now(), time.Second, 0)
+	if s, d := tr.Snapshot(); s != nil || d != 0 {
+		t.Errorf("nil tracer snapshot %v %d", s, d)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteFlameSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

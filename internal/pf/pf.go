@@ -18,6 +18,7 @@ import (
 
 	"graftmatch/internal/bipartite"
 	"graftmatch/internal/matching"
+	"graftmatch/internal/obs"
 	"graftmatch/internal/par"
 )
 
@@ -32,6 +33,11 @@ type Options struct {
 	// completed phase (a consistent point: the mate arrays form a valid
 	// matching) with the phase count and the current cardinality.
 	OnPhase func(phase, cardinality int64)
+
+	// Recorder, when non-nil, receives per-phase counters (edges, paths,
+	// phases) and one span per phase. Recording happens on the driver
+	// goroutine at phase boundaries only; the nil default is a no-op.
+	Recorder *obs.Recorder
 }
 
 // Run computes a maximum cardinality matching with the fair Pothen–Fan
@@ -80,6 +86,12 @@ func RunCtx(ctx context.Context, g *bipartite.Graph, m *matching.Matching, opts 
 		workers[w].init(nx)
 	}
 
+	rec := opts.Recorder
+	mEdges := rec.Counter("graftmatch_pf_edges_traversed_total", "edges examined by PF lookahead and DFS scans")
+	mPaths := rec.Counter("graftmatch_pf_augmenting_paths_total", "augmenting paths applied by PF")
+	mPhases := rec.Counter("graftmatch_pf_phases_total", "completed PF phases")
+	var prevEdges int64
+
 	var err error
 	fair := false
 	// Phase-invariant parallel bodies, built once so the phase loop does
@@ -105,6 +117,7 @@ func RunCtx(ctx context.Context, g *bipartite.Graph, m *matching.Matching, opts 
 		if err = ctx.Err(); err != nil {
 			break // phase boundary: the matching is consistent here
 		}
+		phaseStart := time.Now()
 		roots = roots[:0]
 		for x := int32(0); x < int32(nx); x++ {
 			if m.MateX[x] == none {
@@ -123,11 +136,20 @@ func RunCtx(ctx context.Context, g *bipartite.Graph, m *matching.Matching, opts 
 			break
 		}
 		stats.Phases++
+		card := m.Cardinality()
+		after := paths.Sum()
+		e := edges.Sum()
+		mPaths.Add(0, after-before)
+		mEdges.Add(0, e-prevEdges)
+		prevEdges = e
+		mPhases.Add(0, 1)
+		rec.Span("pf", "phase", phaseStart, time.Since(phaseStart), card)
+		rec.PhaseDone("PF", stats.Phases, card)
 		if opts.OnPhase != nil {
-			opts.OnPhase(stats.Phases, m.Cardinality())
+			opts.OnPhase(stats.Phases, card)
 		}
 		fair = !fair
-		if paths.Sum() == before {
+		if after == before {
 			break
 		}
 	}

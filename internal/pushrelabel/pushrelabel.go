@@ -22,6 +22,7 @@ import (
 
 	"graftmatch/internal/bipartite"
 	"graftmatch/internal/matching"
+	"graftmatch/internal/obs"
 	"graftmatch/internal/par"
 )
 
@@ -45,6 +46,12 @@ type Options struct {
 	// global relabel (PR's phase analog; a consistent point for the mate
 	// arrays) with the phase count and the current cardinality.
 	OnPhase func(phase, cardinality int64)
+
+	// Recorder, when non-nil, receives per-relabel counter deltas (edges,
+	// double pushes, relabels) and one span per global relabel. Recording
+	// happens on the driver goroutine at relabel barriers only; the nil
+	// default is a no-op.
+	Recorder *obs.Recorder
 }
 
 // Defaults fills unset fields with the paper's parameters.
@@ -96,12 +103,17 @@ func RunCtx(ctx context.Context, g *bipartite.Graph, m *matching.Matching, opts 
 	start := time.Now()
 
 	e := &prState{g: g, m: m, opts: opts, ctx: ctx, stats: stats}
+	e.rec = opts.Recorder
+	e.mEdges = e.rec.Counter("graftmatch_pr_edges_traversed_total", "edges examined by PR scans and global relabels")
+	e.mPushes = e.rec.Counter("graftmatch_pr_double_pushes_total", "double-push operations committed")
+	e.mPhases = e.rec.Counter("graftmatch_pr_relabels_total", "global relabels (PR's phase analog)")
 	e.init()
 	if opts.Threads == 1 {
 		e.runSerial()
 	} else {
 		e.runParallel()
 	}
+	e.exportDeltas() // publish the tail since the last relabel barrier
 
 	stats.Runtime = time.Since(start)
 	stats.FinalCardinality = m.Cardinality()
@@ -128,6 +140,25 @@ type prState struct {
 	relabelPeriod int64
 
 	stats *matching.Stats
+
+	// Observability handles (nil-safe no-ops without a Recorder) and the
+	// already-exported cuts of the cumulative stats, so each relabel
+	// barrier publishes only its delta.
+	rec                 *obs.Recorder
+	mEdges              *obs.Counter
+	mPushes             *obs.Counter
+	mPhases             *obs.Counter
+	expEdges, expPushes int64
+}
+
+// exportDeltas publishes counter growth since the last export; called at
+// relabel barriers and once at run end, so live metrics lag the engine by
+// at most one phase.
+func (e *prState) exportDeltas() {
+	e.mEdges.Add(0, e.stats.EdgesTraversed-e.expEdges)
+	e.expEdges = e.stats.EdgesTraversed
+	e.mPushes.Add(0, e.stats.AugPaths-e.expPushes)
+	e.expPushes = e.stats.AugPaths
 }
 
 func (e *prState) init() {
@@ -219,10 +250,16 @@ func (e *prState) runSerial() {
 			for mateX[x] == none {
 				if e.pushes >= e.relabelPeriod {
 					e.pushes = 0
+					t := time.Now()
 					e.globalRelabel()
 					e.stats.Phases++ // count global relabels as phases
+					card := e.m.Cardinality()
+					e.mPhases.Add(0, 1)
+					e.exportDeltas()
+					e.rec.Span("pr", "relabel", t, time.Since(t), card)
+					e.rec.PhaseDone("PR", e.stats.Phases, card)
 					if e.opts.OnPhase != nil {
-						e.opts.OnPhase(e.stats.Phases, e.m.Cardinality())
+						e.opts.OnPhase(e.stats.Phases, card)
 					}
 					if e.dX[x] >= e.limit {
 						break
@@ -348,10 +385,22 @@ func (e *prState) runParallel() {
 
 		if pushCount.Load() >= e.relabelPeriod {
 			pushCount.Store(0)
+			t := time.Now()
 			e.globalRelabel()
 			e.stats.Phases++
+			// Fold the round counters at this barrier (workers joined), so
+			// the exported deltas cover everything up to this relabel.
+			e.stats.EdgesTraversed += edges.Sum()
+			e.stats.AugPaths += pushOps.Sum()
+			edges.Reset()
+			pushOps.Reset()
+			card := e.m.Cardinality()
+			e.mPhases.Add(0, 1)
+			e.exportDeltas()
+			e.rec.Span("pr", "relabel", t, time.Since(t), card)
+			e.rec.PhaseDone("PR", e.stats.Phases, card)
 			if e.opts.OnPhase != nil {
-				e.opts.OnPhase(e.stats.Phases, e.m.Cardinality())
+				e.opts.OnPhase(e.stats.Phases, card)
 			}
 			// Re-filter actives under fresh labels.
 			w := 0

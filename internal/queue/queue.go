@@ -7,7 +7,11 @@
 // one atomic per LocalCap insertions.
 package queue
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"graftmatch/internal/obs"
+)
 
 // LocalCap is the per-worker buffer capacity. 1024 int32s = 4 KiB, small
 // enough for L1 residency, large enough to amortize the atomic reservation.
@@ -20,12 +24,23 @@ const LocalCap = 1024
 type Frontier struct {
 	buf []int32
 	n   atomic.Int64
+
+	// resv, when set via Instrument, counts atomic block reservations — the
+	// queue's one contended operation, and the quantity that tells an
+	// operator whether LocalCap is amortizing contention as designed. A nil
+	// counter (the default) costs one predictable branch per reservation.
+	resv *obs.Counter
 }
 
 // NewFrontier returns a Frontier with the given capacity.
 func NewFrontier(capacity int) *Frontier {
 	return &Frontier{buf: make([]int32, capacity)}
 }
+
+// Instrument attaches a reservation counter (nil detaches). Reservations
+// from any worker fold into slot 0: they happen once per LocalCap pushes,
+// far off the per-vertex hot path.
+func (f *Frontier) Instrument(c *obs.Counter) { f.resv = c }
 
 // Reset empties the queue without releasing storage.
 func (f *Frontier) Reset() { f.n.Store(0) }
@@ -45,6 +60,9 @@ func (f *Frontier) PushBlock(vs []int32) {
 	}
 	end := f.n.Add(int64(len(vs)))
 	start := end - int64(len(vs))
+	if f.resv != nil {
+		f.resv.Add(0, 1)
+	}
 	if end > int64(len(f.buf)) {
 		// Capacity is a caller-proved bound (≤ one frontier entry per
 		// vertex per phase); exceeding it is memory-corrupting, so fail
@@ -58,6 +76,9 @@ func (f *Frontier) PushBlock(vs []int32) {
 // buffers in hot loops.
 func (f *Frontier) Push(v int32) {
 	i := f.n.Add(1) - 1
+	if f.resv != nil {
+		f.resv.Add(0, 1)
+	}
 	if i >= int64(len(f.buf)) {
 		panic("queue: frontier capacity exceeded") //lint:ignore err-checked capacity assertion guards memory safety on the lock-free hot path
 	}

@@ -29,6 +29,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"graftmatch/internal/obs"
 )
 
 // Progress is one phase-boundary report from a running engine. The mate
@@ -130,6 +132,11 @@ type Config struct {
 	// checkpoint writer attaches to. Reports from an abandoned engine are
 	// suppressed.
 	Observe func(Progress)
+
+	// Recorder, when non-nil, receives rung-transition counters, rung
+	// status updates, and one "supervise" span per rung attempt. The nil
+	// default is a no-op.
+	Recorder *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -162,7 +169,11 @@ func Run(ctx context.Context, seedX, seedY []int32, ladder []Engine, cfg Config)
 	var lastErr error
 	for _, eng := range ladder {
 		for attempt := 1; ; attempt++ {
+			cfg.Recorder.RungStart(eng.Name)
+			rungStart := time.Now()
 			res, phases, outcome, err := runRung(ctx, eng, rep.MateX, rep.MateY, cfg)
+			cfg.Recorder.Span("supervise", "rung:"+eng.Name, rungStart, time.Since(rungStart), res.Cardinality)
+			cfg.Recorder.RungEnd(eng.Name, string(outcome))
 			rr := RungReport{
 				Engine:      eng.Name,
 				Outcome:     outcome,

@@ -1,0 +1,185 @@
+package graftmatch
+
+import (
+	"context"
+	"testing"
+
+	"graftmatch/internal/dist"
+	"graftmatch/internal/gen"
+	"graftmatch/internal/matching"
+)
+
+// phaseLog collects OnPhase callbacks and checks the cross-engine contract:
+// phase numbers count 1, 2, 3, ... and cardinality never decreases
+// (augmenting-path and push-relabel engines both only grow the matching).
+type phaseLog struct {
+	phases []int64
+	cards  []int64
+}
+
+func (l *phaseLog) hook() func(phase, card int64) {
+	return func(phase, card int64) {
+		l.phases = append(l.phases, phase)
+		l.cards = append(l.cards, card)
+	}
+}
+
+func (l *phaseLog) check(t *testing.T, name string) {
+	t.Helper()
+	if len(l.phases) == 0 {
+		t.Fatalf("%s: OnPhase never fired", name)
+	}
+	for i, p := range l.phases {
+		if p != int64(i+1) {
+			t.Fatalf("%s: phase %d reported as %d; want consecutive from 1 (%v)", name, i+1, p, l.phases)
+		}
+	}
+	for i := 1; i < len(l.cards); i++ {
+		if l.cards[i] < l.cards[i-1] {
+			t.Fatalf("%s: cardinality shrank %d -> %d at phase %d (%v)",
+				name, l.cards[i-1], l.cards[i], i+1, l.cards)
+		}
+	}
+}
+
+// onPhaseGraph is sparse enough (from an empty matching) that every engine
+// needs several phases, so ordering and monotonicity are actually exercised.
+func onPhaseGraph() *Graph { return gen.ER(400, 400, 1200, 3) }
+
+var onPhaseAlgos = []Algorithm{MSBFSGraft, PothenFan, PushRelabel}
+
+// Every context engine reachable through the facade must fire OnPhase with
+// consecutive phase numbers, monotone cardinality, and a final report that
+// matches the returned result.
+func TestOnPhaseOrderingFacadeEngines(t *testing.T) {
+	g := onPhaseGraph()
+	for _, algo := range onPhaseAlgos {
+		var log phaseLog
+		res, err := Match(g, Options{
+			Algorithm:   algo,
+			Initializer: NoInit,
+			Threads:     2,
+			OnPhase:     log.hook(),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !res.Complete {
+			t.Fatalf("%s: incomplete", algo)
+		}
+		log.check(t, algo.String())
+		last := log.cards[len(log.cards)-1]
+		if algo == PushRelabel {
+			// PR fires the hook at global relabels; pushes after the final
+			// relabel may still grow the matching before termination.
+			if last > res.Cardinality {
+				t.Errorf("%s: last OnPhase cardinality %d > final %d", algo, last, res.Cardinality)
+			}
+		} else if last != res.Cardinality {
+			t.Errorf("%s: last OnPhase cardinality %d != final %d", algo, last, res.Cardinality)
+		}
+		if lastPhase := log.phases[len(log.phases)-1]; lastPhase != res.Stats.Phases {
+			t.Errorf("%s: last OnPhase phase %d != stats phases %d", algo, lastPhase, res.Stats.Phases)
+		}
+	}
+}
+
+// The distributed engine shares the same OnPhase contract.
+func TestOnPhaseOrderingDist(t *testing.T) {
+	g := onPhaseGraph()
+	var log phaseLog
+	m := matching.New(g.NX(), g.NY())
+	s := dist.Run(g, m, dist.Options{Ranks: 4, Grafting: true, OnPhase: log.hook()})
+	if !s.Complete {
+		t.Fatal("dist: incomplete")
+	}
+	log.check(t, "dist")
+	if last := log.cards[len(log.cards)-1]; last != s.FinalCardinality {
+		t.Errorf("dist: last OnPhase cardinality %d != final %d", last, s.FinalCardinality)
+	}
+	if lastPhase := log.phases[len(log.phases)-1]; lastPhase != s.Phases {
+		t.Errorf("dist: last OnPhase phase %d != stats phases %d", lastPhase, s.Phases)
+	}
+}
+
+// Cancelling from inside the OnPhase hook must stop each facade engine at
+// that boundary: partial Complete=false result, nil error, valid matching,
+// and no OnPhase calls after the cancellation took effect at a boundary.
+func TestOnPhaseCancellationFacadeEngines(t *testing.T) {
+	g := onPhaseGraph()
+	for _, algo := range onPhaseAlgos {
+		ctx, cancel := context.WithCancel(context.Background())
+		var log phaseLog
+		var fired int
+		res, err := MatchContext(ctx, g, Options{
+			Algorithm:   algo,
+			Initializer: NoInit,
+			Threads:     2,
+			OnPhase: func(phase, card int64) {
+				fired++
+				log.hook()(phase, card)
+				if phase == 1 {
+					cancel()
+				}
+			},
+		})
+		if err != nil {
+			t.Fatalf("%s: cancellation must yield a partial result, got error %v", algo, err)
+		}
+		cancel()
+		if res.Complete {
+			// The engine may legitimately finish if phase 1 was the last
+			// phase needed; on this instance from an empty matching it never
+			// is, so completing means cancellation was ignored.
+			t.Fatalf("%s: run completed despite cancel at phase 1 (%d phases)", algo, res.Stats.Phases)
+		}
+		log.check(t, algo.String())
+		if fired > 2 {
+			t.Errorf("%s: %d OnPhase calls after cancel at phase 1; want at most one more boundary", algo, fired)
+		}
+		if verr := VerifyMatching(g, res.MateX, res.MateY); verr != nil {
+			t.Errorf("%s: partial matching invalid: %v", algo, verr)
+		}
+	}
+}
+
+// Dist under cancellation from the hook: the run stops at a superstep-safe
+// boundary with a valid gathered partial matching, and resuming from it
+// reaches the full cardinality.
+func TestOnPhaseCancellationDist(t *testing.T) {
+	g := onPhaseGraph()
+	base := matching.New(g.NX(), g.NY())
+	want := dist.Run(g, base, dist.Options{Ranks: 4, Grafting: true}).FinalCardinality
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var log phaseLog
+	m := matching.New(g.NX(), g.NY())
+	s, err := dist.RunCtx(ctx, g, m, dist.Options{
+		Ranks: 4, Grafting: true,
+		OnPhase: func(phase, card int64) {
+			log.hook()(phase, card)
+			if phase == 1 {
+				cancel()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("dist: want context error after cancel")
+	}
+	if s.Complete {
+		t.Fatal("dist: stats claim completion after cancel")
+	}
+	log.check(t, "dist")
+	if verr := VerifyMatching(g, m.MateX, m.MateY); verr != nil {
+		t.Fatalf("dist: partial matching invalid: %v", verr)
+	}
+
+	res, err := ResumeMatch(g, m.MateX, m.MateY, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cardinality != want {
+		t.Errorf("dist resume: cardinality %d, want %d", res.Cardinality, want)
+	}
+}

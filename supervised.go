@@ -137,7 +137,7 @@ func superviseMatch(ctx context.Context, g *Graph, m *matching.Matching, opts Op
 	initial := m.Cardinality()
 	var w *ckptWriter
 	if opts.Checkpoint != nil {
-		w = newCkptWriter(g, *opts.Checkpoint, initial)
+		w = newCkptWriter(g, *opts.Checkpoint, initial, opts.Recorder)
 	}
 	user := opts.OnPhase
 	cfg := supervise.Config{
@@ -145,6 +145,7 @@ func superviseMatch(ctx context.Context, g *Graph, m *matching.Matching, opts Op
 		StallPhases:  so.StallPhases,
 		Grace:        so.Grace,
 		Retry:        supervise.Backoff{Attempts: so.RetryAttempts},
+		Recorder:     opts.Recorder,
 		Observe: func(p supervise.Progress) {
 			if w != nil {
 				w.observe(p.Engine, p.Phase, p.Cardinality, p.MateX, p.MateY)
