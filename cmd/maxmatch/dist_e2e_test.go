@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"graftmatch"
+	"graftmatch/internal/gen"
+	"graftmatch/internal/mmio"
+)
+
+func TestParseChaosSpec(t *testing.T) {
+	ch, err := parseChaosSpec("drop=0.05,dup=0.1,latency=2ms,jitter=3ms,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Drop != 0.05 || ch.Duplicate != 0.1 || ch.Latency != 2*time.Millisecond ||
+		ch.Jitter != 3*time.Millisecond || ch.Seed != 7 {
+		t.Fatalf("parsed %+v", ch)
+	}
+	for _, bad := range []string{"drop", "rate=0.1", "drop=x", "drop=1.5", "dup=-0.1"} {
+		if _, err := parseChaosSpec(bad); err == nil {
+			t.Errorf("spec %q: want error", bad)
+		}
+	}
+}
+
+func TestDistFlagValidation(t *testing.T) {
+	path := writeTestMatrix(t)
+	cases := [][]string{
+		{"-dist-listen", "127.0.0.1:0", "-dist-join", "127.0.0.1:1", path}, // both roles
+		{"-dist-listen", "127.0.0.1:0", path},                             // no -dist-ranks
+		{"-dist-listen", "127.0.0.1:0", "-dist-ranks", "2", "-json", path},
+		{"-dist-join", "127.0.0.1:1", "-dist-chaos", "bogus", path},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}
+
+// TestDistCLIUnixSocket drives the whole CLI surface in-process: one run()
+// call is the coordinator on a unix socket, two more are the rank workers —
+// one of them behind a -dist-chaos proxy, which also pins the proxy's
+// ability to front a unix-socket target (it once hardcoded tcp).
+// The socket path is chosen up front, so no port needs to be communicated.
+func TestDistCLIUnixSocket(t *testing.T) {
+	path := writeTestMatrix(t)
+	out := filepath.Join(t.TempDir(), "m.txt")
+	sock := filepath.Join(t.TempDir(), "graft.sock")
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	launch := func(args []string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- run(args)
+		}()
+	}
+	launch([]string{"-dist-listen", sock, "-dist-ranks", "2", "-dist-respawn=false",
+		"-dist-hb", "50ms", "-verify", "-stats", "-out", out, path})
+	launch([]string{"-dist-join", sock, path})
+	launch([]string{"-dist-join", sock, "-dist-chaos", "drop=0.02,dup=0.02,latency=1ms,seed=3", path})
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if data, err := os.ReadFile(out); err != nil || len(data) == 0 {
+		t.Fatalf("matching file: err=%v, %d bytes", err, len(data))
+	}
+}
+
+// TestDistE2EKillRank is the acceptance run for the distributed runtime: a
+// real maxmatch binary coordinates 4 real worker processes over TCP, one
+// worker is SIGKILLed mid-run, and the coordinator must detect the death,
+// respawn a replacement, and still finish with a Verify-clean matching of
+// the same cardinality as the single-process engine.
+func TestDistE2EKillRank(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and spawns 5 processes")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "maxmatch")
+	if out, err := exec.Command("go", "build", "-o", bin, "graftmatch/cmd/maxmatch").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Big enough that the phase loop is still running when the kill lands,
+	// small enough to keep the test fast.
+	g := gen.ER(20000, 20000, 120000, 11)
+	gpath := filepath.Join(dir, "g.mtx")
+	if err := mmio.WriteFile(gpath, g); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := graftmatch.Match(g, graftmatch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, bin,
+		"-dist-listen", "127.0.0.1:0", "-dist-ranks", "4", "-dist-spawn",
+		"-dist-hb", "25ms", "-verify", "-stats", gpath)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scan the coordinator's stdout live: learn the worker pids from the
+	// spawn lines, SIGKILL rank 1 the moment the first phase completes.
+	pids := map[int]int{}
+	killed := false
+	var transcript strings.Builder
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		transcript.WriteString(line)
+		transcript.WriteByte('\n')
+		var rank, pid int
+		if _, err := fmt.Sscanf(line, "dist: spawned rank %d pid=%d", &rank, &pid); err == nil {
+			pids[rank] = pid
+			continue
+		}
+		if !killed && strings.HasPrefix(line, "phase ") && pids[1] != 0 {
+			proc, err := os.FindProcess(pids[1])
+			if err != nil {
+				t.Fatalf("find rank 1 pid %d: %v", pids[1], err)
+			}
+			if err := proc.Kill(); err != nil {
+				t.Fatalf("kill rank 1: %v", err)
+			}
+			killed = true
+		}
+	}
+	err = cmd.Wait()
+	out := transcript.String()
+	if err != nil {
+		t.Fatalf("coordinator: %v\nstdout:\n%s\nstderr:\n%s", err, out, stderr.String())
+	}
+	if !killed {
+		t.Fatalf("run finished before a phase line appeared — never killed a rank\nstdout:\n%s", out)
+	}
+	for _, want := range []string{
+		"dist: rank 1 died; respawning",
+		fmt.Sprintf("maximum matching cardinality: %d", ref.Cardinality),
+		"verified: matching is valid and maximum",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q\nstdout:\n%s\nstderr:\n%s", want, out, stderr.String())
+		}
+	}
+	if !regexp.MustCompile(`rank deaths: [1-9]`).MatchString(out) {
+		t.Errorf("stats report no rank deaths\nstdout:\n%s", out)
+	}
+}

@@ -9,6 +9,23 @@
 //	         [-supervise] [-watchdog 30s] [-stall N] [-obs-addr :8080]
 //	         [-stats] [-json] [-out matching.txt] file.{mtx,el,txt}[.gz]
 //
+// Distributed mode runs the matching across real processes over TCP or unix
+// sockets. One process is the coordinator:
+//
+//	maxmatch -dist-listen :9000 -dist-ranks 4 -dist-spawn [-dist-respawn]
+//	         [-dist-hb 500ms] [-dist-lease 4s] [-verify] [-stats] file.mtx
+//
+// and each rank is a worker (spawned automatically with -dist-spawn, or
+// launched by hand or an external supervisor):
+//
+//	maxmatch -dist-join host:9000 [-dist-rank N] [-dist-chaos drop=0.05,latency=2ms] file.mtx
+//
+// Every process loads the same graph file; the handshake cross-checks graph
+// fingerprints. The coordinator detects dead ranks by heartbeat lease,
+// respawns replacements (-dist-respawn, default on), and resumes from the
+// last phase-boundary checkpoint of the matching — with -checkpoint-dir the
+// phase snapshots also persist to disk and survive coordinator restarts.
+//
 // With -checkpoint-dir the run persists crash-safe snapshots of its state at
 // phase boundaries; -resume restarts from the newest valid snapshot for the
 // same graph (verifying it first) and falls back to a fresh start when the
@@ -103,11 +120,26 @@ func run(args []string) error {
 	watchdog := fs.Duration("watchdog", 0, "supervisor watchdog: degrade engines after this long without a completed phase (implies -supervise)")
 	stall := fs.Int("stall", 0, "supervisor stall detection: degrade after N phases without cardinality growth (implies -supervise)")
 	obsAddr := fs.String("obs-addr", "", "serve live metrics/status/trace/pprof on this address (e.g. :8080) for the duration of the run")
+	df := registerDistFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("expected exactly one .mtx file, got %d args", fs.NArg())
+	}
+	if df.listen != "" || df.join != "" {
+		return runDist(distRunConfig{
+			graphPath:  fs.Arg(0),
+			flags:      df,
+			verify:     *verify,
+			showStats:  *showStats,
+			printMates: *printMates,
+			outPath:    *outPath,
+			jsonOut:    *jsonOut,
+			timeout:    *timeout,
+			ckptDir:    *ckptDir,
+			obsAddr:    *obsAddr,
+		})
 	}
 	algo, ok := algoByName[strings.ToLower(*algoName)]
 	if !ok {

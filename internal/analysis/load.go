@@ -75,14 +75,14 @@ func DefaultConfig() Config {
 	return Config{
 		CtxPackages: []string{
 			"internal/par", "internal/core", "internal/pf",
-			"internal/pushrelabel", "internal/dist", "internal/supervise",
-			"internal/obs",
+			"internal/pushrelabel", "internal/dist", "internal/dist/net",
+			"internal/supervise", "internal/obs",
 		},
 		PanicPackages: []string{"internal/par"},
 		HotPackages: []string{
 			"internal/core", "internal/msbfs", "internal/queue",
-			"internal/dist", "internal/pf", "internal/pushrelabel",
-			"internal/obs",
+			"internal/dist", "internal/dist/net", "internal/pf",
+			"internal/pushrelabel", "internal/obs",
 		},
 	}
 }

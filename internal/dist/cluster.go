@@ -1,0 +1,944 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	gonet "net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graftmatch/internal/bipartite"
+	"graftmatch/internal/checkpoint"
+	distnet "graftmatch/internal/dist/net"
+	"graftmatch/internal/matching"
+	"graftmatch/internal/obs"
+)
+
+// ClusterOptions configures a Coordinator, the process that owns the global
+// loop of a real multi-process distributed run.
+type ClusterOptions struct {
+	// Ranks is the cluster width K: the worker processes the run needs.
+	Ranks int
+
+	// Alpha is the graft-decision threshold, as in Options; 0 means 5.
+	Alpha float64
+
+	// Grafting toggles tree-grafting frontier reconstruction.
+	Grafting bool
+
+	// Heartbeat is the keepalive interval both directions; 0 means 500ms.
+	Heartbeat time.Duration
+
+	// Lease is the silence after which a peer is declared dead: the
+	// coordinator declares a rank dead and recovers, a worker declares the
+	// coordinator dead and aborts (the split-brain minority rule). 0 means
+	// 8× Heartbeat.
+	Lease time.Duration
+
+	// RejoinWait bounds how long a recovery waits for the replacement worker
+	// to dial in before the run fails; it also bounds the wait for the
+	// initial K joins at Run. 0 means 30s.
+	RejoinWait time.Duration
+
+	// HandshakeTimeout bounds one raw Hello/Welcome exchange; 0 means 10s.
+	HandshakeTimeout time.Duration
+
+	// MaxRecoveries bounds rank-death recoveries per run; 0 means 8.
+	MaxRecoveries int
+
+	// Respawn, when non-nil, is called on the driver goroutine when a rank
+	// is declared dead; it must arrange for a replacement worker to dial in
+	// requesting that rank (exec a process, start a goroutine). When nil the
+	// coordinator still waits RejoinWait for an externally supervised
+	// replacement.
+	Respawn func(rank int) error
+
+	// CheckpointDir, when set, persists the phase-boundary matching via
+	// internal/checkpoint, and resumes from the freshest compatible snapshot
+	// on start.
+	CheckpointDir string
+
+	// Limits bounds inbound frames; the zero value uses the package default.
+	Limits distnet.Limits
+
+	// RTO tunes the session retransmit schedule.
+	RTO distnet.BackoffConfig
+
+	// Recorder, when non-nil, receives superstep/message counters plus the
+	// cluster health metrics (reconnects, rank deaths, recoveries, recovery
+	// duration). Per-rank where the counter supports slots.
+	Recorder *obs.Recorder
+
+	// OnPhase, when non-nil, runs on the driver goroutine after every phase
+	// with the phase count and current cardinality.
+	OnPhase func(phase, cardinality int64)
+}
+
+func (o ClusterOptions) withDefaults() ClusterOptions {
+	if o.Ranks < 1 {
+		o.Ranks = 1
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = 5
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 500 * time.Millisecond
+	}
+	if o.Lease <= 0 {
+		o.Lease = 8 * o.Heartbeat
+	}
+	if o.Lease < 2*o.Heartbeat {
+		o.Lease = 2 * o.Heartbeat
+	}
+	if o.RejoinWait <= 0 {
+		o.RejoinWait = 30 * time.Second
+	}
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = helloTimeout
+	}
+	if o.MaxRecoveries <= 0 {
+		o.MaxRecoveries = 8
+	}
+	return o
+}
+
+// ClusterStats extends the matching statistics with the distributed cost
+// model and the run's failure/recovery history.
+type ClusterStats struct {
+	*matching.Stats
+	Ranks      int
+	Supersteps int64
+	Messages   int64
+
+	// Reconnects counts session re-attaches of a live incarnation (network
+	// blips); RankDeaths counts workers declared dead; Recoveries counts
+	// epoch rollbacks that followed; RecoveryTime is their summed duration
+	// from death declaration to restarted phase loop.
+	Reconnects   int64
+	RankDeaths   int64
+	Recoveries   int64
+	RecoveryTime time.Duration
+
+	// Retransmits and Attaches aggregate the per-rank session counters.
+	Retransmits int64
+	Attaches    int64
+}
+
+// slot is the coordinator's view of one rank: whichever worker incarnation
+// currently owns it, its reliable session, and the decoded responses.
+type slot struct {
+	rank int
+
+	mu        sync.Mutex
+	sess      *distnet.Session
+	nonce     uint64 // current incarnation; 0 when the slot is vacant
+	deadNonce uint64 // last incarnation declared dead; its Hellos are refused
+	alive     bool
+	failed    atomic.Bool // worker sent fAbort: dead regardless of heartbeats
+
+	// frames carries decoded StepDone frames from the pump to the driver.
+	// Capacity covers the lockstep protocol's maximum in-flight responses
+	// plus stale leftovers across an epoch change.
+	frames chan stepDoneFrame
+
+	// retransmits/attaches accumulated from sessions this slot has closed,
+	// so Stats survive incarnation turnover.
+	closedRetrans, closedAttach int64
+}
+
+// Coordinator drives a multi-process distributed run: it listens for worker
+// joins, broadcasts superstep orders, routes the resulting messages, detects
+// rank failure by heartbeat silence, and recovers by respawning the rank and
+// rolling every rank back to the last phase-boundary matching. It is not
+// itself a rank — ranks 0..K-1 all live in worker processes.
+type Coordinator struct {
+	g    *bipartite.Graph
+	part Partition
+	op   ops
+	opts ClusterOptions
+	fp   checkpoint.Fingerprint
+
+	ln    gonet.Listener
+	slots []*slot
+	mu    sync.Mutex // guards handshake slot assignment
+	epoch atomic.Uint64
+
+	mon *distnet.Monitor
+
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
+	wg         sync.WaitGroup
+	closeOnce  sync.Once
+
+	// Driver-owned superstep state (no locking: single driver goroutine).
+	ssid     uint64
+	inboxes  [][]message
+	renewNew []int32
+	stepBuf  []byte
+
+	stats      ClusterStats
+	reconnects atomic.Int64 // handshake goroutines bump this; folded into stats by the driver
+
+	rec                                          *obs.Recorder
+	mSupersteps, mMessages, mPhases              *obs.Counter
+	mReconnects, mDeaths, mRecoveries, mRecMilli *obs.Counter
+	mRetransmits                                 *obs.Counter
+	prevRetrans                                  int64
+}
+
+// NewCoordinator starts listening on addr (TCP "host:port" or a unix socket
+// path; ":0" picks a free port — see Addr). Workers can join immediately;
+// the run starts at Run.
+func NewCoordinator(g *bipartite.Graph, addr string, opts ClusterOptions) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	ln, err := gonet.Listen(distnet.Network(addr), addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		g:    g,
+		part: NewPartition(opts.Ranks, g.NX(), g.NY()),
+		opts: opts,
+		fp:   checkpoint.GraphFingerprint(g),
+		ln:   ln,
+		mon:  distnet.NewMonitor(opts.Heartbeat, int(opts.Lease/opts.Heartbeat)),
+	}
+	c.op = ops{g: g, part: c.part}
+	c.slots = make([]*slot, c.part.K)
+	for i := range c.slots {
+		c.slots[i] = &slot{rank: i, frames: make(chan stepDoneFrame, 8)} //lint:ignore hotpath-alloc constructor setup: K slots allocated once per coordinator
+	}
+	c.inboxes = make([][]message, c.part.K)
+	c.lifeCtx, c.lifeCancel = context.WithCancel(context.Background())
+	c.rec = opts.Recorder
+	c.mSupersteps = c.rec.Counter("graftmatch_cluster_supersteps_total", "BSP superstep rounds broadcast to the cluster")
+	c.mMessages = c.rec.Counter("graftmatch_cluster_messages_total", "point-to-point messages routed plus collective broadcast volume")
+	c.mPhases = c.rec.Counter("graftmatch_cluster_phases_total", "completed distributed search phases")
+	c.mReconnects = c.rec.Counter("graftmatch_cluster_reconnects_total", "worker session re-attaches after connection loss")
+	c.mDeaths = c.rec.Counter("graftmatch_cluster_rank_deaths_total", "workers declared dead by heartbeat silence or abort")
+	c.mRecoveries = c.rec.Counter("graftmatch_cluster_recoveries_total", "epoch rollbacks recovering a dead rank")
+	c.mRecMilli = c.rec.Counter("graftmatch_cluster_recovery_millis_total", "milliseconds spent in rank-death recovery")
+	c.mRetransmits = c.rec.Counter("graftmatch_cluster_retransmits_total", "session-layer frame retransmissions across all ranks")
+	c.wg.Add(1) //lint:ignore wg-balance acceptLoop's first deferred statement is the matching Done
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr is the coordinator's bound listen address — what workers dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close tears the cluster down: listener, sessions, loops.
+func (c *Coordinator) Close() error {
+	c.closeOnce.Do(func() {
+		c.lifeCancel()
+		_ = c.ln.Close() //lint:ignore err-checked teardown; acceptLoop observes the close and exits
+		for _, s := range c.slots {
+			s.mu.Lock()
+			sess := s.sess
+			s.sess = nil
+			s.alive = false
+			s.mu.Unlock()
+			if sess != nil {
+				_ = sess.Close() //lint:ignore err-checked teardown; pumps observe the close and exit
+			}
+		}
+	})
+	c.wg.Wait()
+	return nil
+}
+
+// --- join handshake -------------------------------------------------------
+
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		raw, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go c.handshake(raw)
+	}
+}
+
+// handshake runs the raw Hello/Welcome exchange on a fresh connection and
+// either attaches it to a slot or refuses it with a typed Abort.
+func (c *Coordinator) handshake(raw gonet.Conn) {
+	defer c.wg.Done()
+	conn := distnet.NewConn(raw, distnet.Config{
+		Limits:       c.opts.Limits,
+		ReadTimeout:  c.opts.HandshakeTimeout,
+		WriteTimeout: c.opts.HandshakeTimeout,
+	})
+	refuse := func(reason string) {
+		_ = conn.Send(fAbort, encodeAbort(reason)) //lint:ignore err-checked best-effort refusal; the conn is closing either way
+		_ = conn.Close()                           //lint:ignore err-checked refused handshake teardown
+	}
+	typ, payload, err := conn.Recv()
+	if err != nil || typ != fHello {
+		refuse("expected hello")
+		return
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		refuse(err.Error())
+		return
+	}
+	if h.Version != protoVersion {
+		refuse(fmt.Sprintf("protocol version %d, want %d", h.Version, protoVersion))
+		return
+	}
+	if h.FP != c.fp {
+		refuse(fmt.Sprintf("graph fingerprint %v, want %v", h.FP, c.fp))
+		return
+	}
+
+	c.mu.Lock()
+	s, reason := c.assign(h)
+	if s == nil {
+		c.mu.Unlock()
+		refuse(reason)
+		return
+	}
+	s.mu.Lock()
+	c.mu.Unlock()
+	if h.Nonce != 0 && h.Nonce == s.deadNonce {
+		// The driver declared this incarnation dead between assignment and
+		// here; its session state is unrecoverable, so it must not rejoin.
+		s.mu.Unlock()
+		refuse("stale incarnation: this rank was declared dead")
+		return
+	}
+	reattach := s.alive && s.nonce == h.Nonce
+	welcome := encodeWelcome(welcomeFrame{
+		Rank:        int32(s.rank),
+		K:           int32(c.part.K),
+		Epoch:       c.epoch.Load(),
+		HBMillis:    uint32(c.opts.Heartbeat / time.Millisecond),
+		LeaseMillis: uint32(c.opts.Lease / time.Millisecond),
+	})
+	// The slot stays locked through Welcome + attach so a racing handshake
+	// for the same rank cannot interleave: the write is bounded by the
+	// handshake write deadline, never indefinite.
+	if err := conn.Send(fWelcome, welcome); err != nil { //lint:ignore lock-discipline bounded by HandshakeTimeout; slot state must not change until the Welcome is on the wire
+		s.mu.Unlock()
+		_ = conn.Close() //lint:ignore err-checked failed welcome; the worker re-dials
+		return
+	}
+	conn.SetTimeouts(0, c.opts.HandshakeTimeout) //lint:ignore lock-discipline disarms socket deadlines; setter calls, no blocking I/O
+	if reattach {
+		sess := s.sess
+		s.mu.Unlock()
+		sess.Attach(conn) // replays the unacked tail
+		c.mReconnects.Add(s.rank, 1)
+		c.reconnects.Add(1)
+	} else {
+		if s.sess != nil {
+			old := s.sess
+			s.closedRetrans += old.Stats().Retransmits
+			s.closedAttach += old.Stats().Attaches
+			_ = old.Close() //lint:ignore err-checked,lock-discipline superseded incarnation's session; Close only closes a chan and a conn, it does not wait
+		}
+		sess := distnet.NewSession(distnet.SessionConfig{RTO: c.opts.RTO}) //lint:ignore lock-discipline spawns the retransmit loop and returns; nothing blocks under s.mu
+		s.sess = sess
+		s.nonce = h.Nonce
+		s.alive = true
+		s.failed.Store(false)
+		s.mu.Unlock()
+		sess.Attach(conn)
+		c.wg.Add(2)
+		go c.pump(s, sess)
+		go func() {
+			defer c.wg.Done()
+			distnet.Heartbeat(c.lifeCtx, sess, fHB, c.opts.Heartbeat)
+		}()
+	}
+	c.mon.Touch(s.rank)
+}
+
+// assign picks the slot for a Hello, or explains the refusal. Called with
+// c.mu held; returns with the choice made but nothing mutated.
+func (c *Coordinator) assign(h helloFrame) (*slot, string) {
+	if h.Rank >= int32(len(c.slots)) {
+		return nil, fmt.Sprintf("rank %d out of range (K=%d)", h.Rank, len(c.slots))
+	}
+	if h.Rank >= 0 {
+		s := c.slots[h.Rank]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if h.Nonce != 0 && h.Nonce == s.deadNonce {
+			return nil, "stale incarnation: this rank was declared dead"
+		}
+		if s.alive && s.nonce != h.Nonce {
+			return nil, "rank already held by a live worker"
+		}
+		return s, ""
+	}
+	// A retried anonymous join (lost Welcome) already holds a slot under this
+	// nonce; route it back there rather than burning a second slot.
+	if h.Nonce != 0 {
+		for _, s := range c.slots {
+			s.mu.Lock()
+			mine := s.alive && s.nonce == h.Nonce
+			s.mu.Unlock()
+			if mine {
+				return s, ""
+			}
+		}
+	}
+	for _, s := range c.slots {
+		s.mu.Lock()
+		free := !s.alive && (h.Nonce == 0 || h.Nonce != s.deadNonce)
+		s.mu.Unlock()
+		if free {
+			return s, ""
+		}
+	}
+	return nil, "cluster full"
+}
+
+// pump drains one incarnation's session: heartbeats feed the failure
+// detector, StepDone frames flow to the driver, an Abort marks the rank
+// failed. Exits when the session closes (death, replacement, or shutdown).
+func (c *Coordinator) pump(s *slot, sess *distnet.Session) {
+	defer c.wg.Done()
+	for {
+		m, err := sess.Recv(c.lifeCtx)
+		if err != nil {
+			return
+		}
+		c.mon.Touch(s.rank)
+		switch m.Type {
+		case fHB:
+			// liveness only
+		case fStepDone:
+			f, err := decodeStepDone(m.Payload, c.part.K)
+			if err != nil {
+				s.failed.Store(true) // a garbled worker is a dead worker
+				return
+			}
+			select {
+			case s.frames <- f:
+			case <-c.lifeCtx.Done():
+				return
+			}
+		case fAbort:
+			s.failed.Store(true)
+			return
+		default:
+			// Unknown traffic is ignored; the protocol may grow.
+		}
+	}
+}
+
+// --- superstep driver -----------------------------------------------------
+
+// errRankDead tags a gather failure with the rank to recover.
+type errRankDead struct {
+	rank int
+	err  error
+}
+
+func (e *errRankDead) Error() string { return fmt.Sprintf("rank %d: %v", e.rank, e.err) }
+func (e *errRankDead) Unwrap() error { return e.err }
+
+// dead reports whether the failure detector currently declares rank dead.
+func (c *Coordinator) dead(rank int) error {
+	s := c.slots[rank]
+	if s.failed.Load() {
+		return &distnet.PeerDownError{Peer: rank, MissedFor: "aborted"}
+	}
+	if silence, ok := c.mon.Silence(rank, time.Now()); ok && silence > c.opts.Lease {
+		return &distnet.PeerDownError{Peer: rank, MissedFor: silence.Truncate(time.Millisecond).String()}
+	}
+	return nil
+}
+
+// round broadcasts one superstep order to every rank and gathers every
+// response, returning them indexed by rank. scatterM carries the matching for
+// opScatter rounds. On return the routed outboxes have replaced c.inboxes
+// and the renewable merge is queued for the next round.
+func (c *Coordinator) round(ctx context.Context, op byte, scatterM *matching.Matching) ([]stepDoneFrame, error) {
+	c.ssid++
+	epoch := c.epoch.Load()
+	for rank, s := range c.slots {
+		f := stepFrame{
+			Epoch:    epoch,
+			SSID:     c.ssid,
+			Op:       op,
+			RenewNew: c.renewNew,
+			In:       c.inboxes[rank],
+		}
+		if op == opScatter {
+			xlo, xhi := c.part.RangeX(rank)
+			ylo, yhi := c.part.RangeY(rank)
+			f.MateX = scatterM.MateX[xlo:xhi]
+			f.MateY = scatterM.MateY[ylo:yhi]
+		}
+		c.stepBuf = encodeStep(c.stepBuf, &f)
+		s.mu.Lock()
+		sess := s.sess
+		s.mu.Unlock()
+		if sess == nil {
+			return nil, &errRankDead{rank: rank, err: &distnet.PeerDownError{Peer: rank, MissedFor: "no session"}} //lint:ignore hotpath-alloc error exit, taken at most once per round
+		}
+		if err := sess.Send(fStep, c.stepBuf); err != nil {
+			return nil, &errRankDead{rank: rank, err: err} //lint:ignore hotpath-alloc error exit, taken at most once per round
+		}
+	}
+	c.stats.Messages += int64(len(c.renewNew) * (c.part.K - 1))
+	c.mMessages.Add(0, int64(len(c.renewNew)*(c.part.K-1)))
+	c.renewNew = c.renewNew[:0]
+
+	results := make([]stepDoneFrame, c.part.K) //lint:ignore hotpath-alloc one gather buffer per superstep round; dwarfed by the network exchange it collects
+	for rank := range c.slots {
+		f, err := c.gather(ctx, rank, epoch, c.ssid)
+		if err != nil {
+			return nil, &errRankDead{rank: rank, err: err} //lint:ignore hotpath-alloc error exit, taken at most once per round
+		}
+		results[rank] = f
+	}
+
+	// Route: rank d's next inbox is the concatenation of out[s][d] in source
+	// order — the same deterministic alltoallv as the simulation.
+	var msgs int64
+	for dst := range c.inboxes {
+		c.inboxes[dst] = c.inboxes[dst][:0]
+	}
+	for _, f := range results {
+		for dst, box := range f.Out {
+			c.inboxes[dst] = append(c.inboxes[dst], box...)
+			msgs += int64(len(box))
+		}
+		c.renewNew = append(c.renewNew, f.NewRenew...)
+	}
+	c.stats.Supersteps++
+	c.stats.Messages += msgs
+	c.mSupersteps.Add(0, 1)
+	c.mMessages.Add(0, msgs)
+	return results, nil
+}
+
+// gather waits for rank's response to (epoch, ssid), discarding stale frames
+// and watching the failure detector while it waits.
+func (c *Coordinator) gather(ctx context.Context, rank int, epoch, ssid uint64) (stepDoneFrame, error) {
+	s := c.slots[rank]
+	tick := time.NewTicker(c.opts.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case f := <-s.frames:
+			if f.Epoch != epoch || f.SSID != ssid {
+				continue // leftover from a pre-recovery order
+			}
+			return f, nil
+		case <-tick.C:
+			if err := c.dead(rank); err != nil {
+				return stepDoneFrame{}, err
+			}
+		case <-ctx.Done():
+			return stepDoneFrame{}, ctx.Err()
+		}
+	}
+}
+
+// frontierTotal sums the frontier sizes a round reported.
+func frontierTotal(results []stepDoneFrame) int64 {
+	var n int64
+	for i := range results {
+		n += results[i].Info[0]
+	}
+	return n
+}
+
+// outboxTotal counts the messages a round routed (already merged into
+// c.inboxes): the augmentation live() test.
+func (c *Coordinator) outboxTotal() int64 {
+	var n int64
+	for _, in := range c.inboxes {
+		n += int64(len(in))
+	}
+	return n
+}
+
+// Run executes the distributed matching over the connected (and still
+// joining) workers, writing the final matching into m. It blocks until the
+// run completes, the context expires, or recovery is exhausted. The partial
+// matching gathered at the last completed phase is always left in m.
+func (c *Coordinator) Run(ctx context.Context, m *matching.Matching) (ClusterStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.stats.Stats = &matching.Stats{
+		Algorithm: "Cluster-MS-BFS-Graft",
+		Threads:   c.part.K,
+	}
+	c.stats.Ranks = c.part.K
+	c.stats.InitialCardinality = m.Cardinality()
+	start := time.Now()
+
+	lastGood := m.Clone()
+	if c.opts.CheckpointDir != "" {
+		if snap, _, err := checkpoint.LoadLatest(c.opts.CheckpointDir, c.fp); err == nil && snap.Cardinality > lastGood.Cardinality() {
+			copy(lastGood.MateX, snap.MateX)
+			copy(lastGood.MateY, snap.MateY)
+		}
+	}
+
+	err := c.awaitCluster(ctx)
+	if err == nil {
+		err = c.drive(ctx, lastGood)
+	}
+
+	copy(m.MateX, lastGood.MateX)
+	copy(m.MateY, lastGood.MateY)
+	c.finishStats(start, m, err)
+	if err == nil {
+		c.broadcastDone()
+	}
+	return c.stats, err
+}
+
+// awaitCluster waits (up to RejoinWait) for all K ranks to have joined, so a
+// straggling first join reads as startup, not as a rank death to recover.
+func (c *Coordinator) awaitCluster(ctx context.Context) error {
+	deadline := time.Now().Add(c.opts.RejoinWait)
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		joined := 0
+		for _, s := range c.slots {
+			s.mu.Lock()
+			if s.alive {
+				joined++
+			}
+			s.mu.Unlock()
+		}
+		if joined == c.part.K {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("dist: %d of %d ranks joined within %v", joined, c.part.K, c.opts.RejoinWait) //lint:ignore hotpath-alloc error exit of a 10ms-tick wait loop
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// drive loops epochs: each attempt runs the phase loop from lastGood; a rank
+// death rolls back here, recovers the rank, and retries. lastGood advances
+// monotonically at every completed phase, so progress survives any number of
+// rollbacks within the recovery budget.
+func (c *Coordinator) drive(ctx context.Context, lastGood *matching.Matching) error {
+	for {
+		err := c.runEpoch(ctx, lastGood)
+		if err == nil {
+			return nil
+		}
+		var rd *errRankDead
+		if !asRankDead(err, &rd) || ctx.Err() != nil {
+			return err
+		}
+		if c.stats.Recoveries >= int64(c.opts.MaxRecoveries) {
+			return fmt.Errorf("dist: recovery budget (%d) exhausted: %w", c.opts.MaxRecoveries, err) //lint:ignore hotpath-alloc error exit; the loop body is an entire epoch
+		}
+		if rerr := c.recoverRank(ctx, rd.rank); rerr != nil {
+			return fmt.Errorf("dist: recovering rank %d: %w", rd.rank, rerr) //lint:ignore hotpath-alloc error exit; the loop body is an entire epoch
+		}
+	}
+}
+
+// asRankDead unwraps err into an *errRankDead if one is in the chain.
+func asRankDead(err error, target **errRankDead) bool {
+	for err != nil {
+		if rd, ok := err.(*errRankDead); ok {
+			*target = rd
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// recoverRank replaces a dead rank: bury the old incarnation, bump the
+// epoch (in-flight traffic from before is now stale by construction),
+// request a respawn, and wait for the replacement to join.
+func (c *Coordinator) recoverRank(ctx context.Context, rank int) error {
+	began := time.Now()
+	c.stats.RankDeaths++
+	c.stats.Recoveries++
+	c.mDeaths.Add(rank, 1)
+	c.mRecoveries.Add(rank, 1)
+	c.epoch.Add(1)
+
+	s := c.slots[rank]
+	s.mu.Lock()
+	sess := s.sess
+	s.sess = nil
+	s.deadNonce = s.nonce
+	s.nonce = 0
+	s.alive = false
+	s.mu.Unlock()
+	if sess != nil {
+		s.closedRetrans += sess.Stats().Retransmits
+		s.closedAttach += sess.Stats().Attaches
+		_ = sess.Close() //lint:ignore err-checked burying a dead incarnation's session
+	}
+	c.mon.Forget(rank)
+	c.drainFrames(s)
+
+	if c.opts.Respawn != nil {
+		if err := c.opts.Respawn(rank); err != nil {
+			return err
+		}
+	}
+
+	deadline := time.Now().Add(c.opts.RejoinWait)
+	tick := time.NewTicker(c.opts.Heartbeat / 2)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		alive := s.alive
+		s.mu.Unlock()
+		if alive {
+			d := time.Since(began)
+			c.stats.RecoveryTime += d
+			c.mRecMilli.Add(rank, d.Milliseconds())
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replacement for rank %d did not join within %v", rank, c.opts.RejoinWait) //lint:ignore hotpath-alloc error exit of a heartbeat-tick wait loop
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// drainFrames empties a slot's response queue so a new epoch starts clean.
+func (c *Coordinator) drainFrames(s *slot) {
+	for {
+		select {
+		case <-s.frames:
+		default:
+			return
+		}
+	}
+}
+
+// runEpoch runs the phase loop from lastGood until the matching is maximum,
+// updating lastGood (and the checkpoint) at every phase boundary. Any error
+// unwinds to drive for recovery.
+func (c *Coordinator) runEpoch(ctx context.Context, lastGood *matching.Matching) error {
+	// Fresh epoch: every rank reloads lastGood and full derived-state reset.
+	for i := range c.inboxes {
+		c.inboxes[i] = c.inboxes[i][:0]
+	}
+	c.renewNew = c.renewNew[:0]
+	if _, err := c.round(ctx, opScatter, lastGood); err != nil {
+		return err
+	}
+	results, err := c.round(ctx, opSeed, nil)
+	if err != nil {
+		return err
+	}
+	frontier := frontierTotal(results)
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		phaseStart := time.Now()
+
+		// BFS: expand/claim/apply per level until the global frontier drains.
+		for frontier > 0 {
+			if _, err := c.round(ctx, opExpand, nil); err != nil {
+				return err
+			}
+			c.stats.EdgesTraversed += c.outboxTotal()
+			if _, err := c.round(ctx, opClaim, nil); err != nil {
+				return err
+			}
+			results, err = c.round(ctx, opApply, nil)
+			if err != nil {
+				return err
+			}
+			frontier = frontierTotal(results)
+		}
+
+		// Augment: token passing until no walk traffic remains.
+		results, err = c.round(ctx, opAugInit, nil)
+		if err != nil {
+			return err
+		}
+		paths := frontierTotal(results)
+		for c.outboxTotal() > 0 {
+			if _, err := c.round(ctx, opAugStep, nil); err != nil {
+				return err
+			}
+		}
+		c.stats.AugPaths += paths
+		c.stats.Phases++
+
+		if err := c.phaseBoundary(ctx, lastGood, phaseStart); err != nil {
+			return err
+		}
+		if paths == 0 {
+			return nil
+		}
+
+		// Graft or rebuild, per the census.
+		results, err = c.round(ctx, opCensus, nil)
+		if err != nil {
+			return err
+		}
+		var activeX, renewY int64
+		for i := range results {
+			activeX += results[i].Info[0]
+			renewY += results[i].Info[1]
+		}
+		if c.opts.Grafting && float64(activeX) > float64(renewY)/c.opts.Alpha {
+			c.stats.Grafts++
+			if _, err := c.round(ctx, opGraftQuery, nil); err != nil {
+				return err
+			}
+			c.stats.EdgesTraversed += c.outboxTotal()
+			if _, err := c.round(ctx, opGraftAccept, nil); err != nil {
+				return err
+			}
+			if _, err := c.round(ctx, opGraftAdopt, nil); err != nil {
+				return err
+			}
+			results, err = c.round(ctx, opGraftApply, nil)
+			if err != nil {
+				return err
+			}
+		} else {
+			c.stats.Rebuilds++
+			results, err = c.round(ctx, opRebuild, nil)
+			if err != nil {
+				return err
+			}
+		}
+		frontier = frontierTotal(results)
+	}
+}
+
+// phaseBoundary gathers the now-consistent mate arrays into lastGood, saves
+// the checkpoint, and exports the phase observability. This is the recovery
+// anchor: everything after a rank death rolls back to the matching gathered
+// here, which monotonicity makes safe.
+func (c *Coordinator) phaseBoundary(ctx context.Context, lastGood *matching.Matching, phaseStart time.Time) error {
+	results, err := c.round(ctx, opReportMates, nil)
+	if err != nil {
+		return err
+	}
+	for rank := range results {
+		xlo, xhi := c.part.RangeX(rank)
+		ylo, yhi := c.part.RangeY(rank)
+		if len(results[rank].MateX) != int(xhi-xlo) || len(results[rank].MateY) != int(yhi-ylo) {
+			return &ProtoError{Frame: "stepdone", Reason: fmt.Sprintf("rank %d mate sizes (%d,%d)", rank, len(results[rank].MateX), len(results[rank].MateY))} //lint:ignore hotpath-alloc protocol-violation exit, never taken on a healthy run
+		}
+		copy(lastGood.MateX[xlo:xhi], results[rank].MateX)
+		copy(lastGood.MateY[ylo:yhi], results[rank].MateY)
+	}
+	card := lastGood.Cardinality()
+
+	if c.opts.CheckpointDir != "" {
+		snap := &checkpoint.Snapshot{
+			Fingerprint: c.fp,
+			Engine:      c.stats.Algorithm,
+			Phase:       c.stats.Phases,
+			Cardinality: card,
+			Stats: checkpoint.CumulativeStats{
+				Phases:             c.stats.Phases,
+				EdgesTraversed:     c.stats.EdgesTraversed,
+				AugPaths:           c.stats.AugPaths,
+				InitialCardinality: c.stats.InitialCardinality,
+				Grafts:             c.stats.Grafts,
+				Rebuilds:           c.stats.Rebuilds,
+			},
+			MateX: lastGood.MateX,
+			MateY: lastGood.MateY,
+		}
+		if _, err := checkpoint.Save(c.opts.CheckpointDir, snap); err != nil {
+			return fmt.Errorf("dist: phase checkpoint: %w", err)
+		}
+	}
+
+	c.mPhases.Add(0, 1)
+	c.exportSessionStats()
+	c.rec.Span("cluster", "phase", phaseStart, time.Since(phaseStart), card)
+	c.rec.PhaseDone(c.stats.Algorithm, c.stats.Phases, card)
+	if c.opts.OnPhase != nil {
+		c.opts.OnPhase(c.stats.Phases, card)
+	}
+	return nil
+}
+
+// exportSessionStats folds the per-rank session counters into the stats and
+// the retransmit delta into the metrics.
+func (c *Coordinator) exportSessionStats() {
+	var retrans, attach int64
+	for _, s := range c.slots {
+		s.mu.Lock()
+		retrans += s.closedRetrans
+		attach += s.closedAttach
+		if s.sess != nil {
+			st := s.sess.Stats()
+			retrans += st.Retransmits
+			attach += st.Attaches
+		}
+		s.mu.Unlock()
+	}
+	c.stats.Retransmits = retrans
+	c.stats.Attaches = attach
+	c.stats.Reconnects = c.reconnects.Load()
+	if d := retrans - c.prevRetrans; d > 0 {
+		c.mRetransmits.Add(0, d)
+		c.prevRetrans = retrans
+	}
+}
+
+// finishStats closes out the run-level statistics.
+func (c *Coordinator) finishStats(start time.Time, m *matching.Matching, err error) {
+	c.stats.Runtime = time.Since(start)
+	c.stats.FinalCardinality = m.Cardinality()
+	c.stats.Complete = err == nil
+	c.exportSessionStats()
+}
+
+// broadcastDone tells every worker the run is complete and gives the final
+// frames a moment to flush before teardown.
+func (c *Coordinator) broadcastDone() {
+	for _, s := range c.slots {
+		s.mu.Lock()
+		sess := s.sess
+		s.mu.Unlock()
+		if sess != nil {
+			_ = sess.Send(fDone, nil) //lint:ignore err-checked best-effort completion notice; a worker that misses it exits on lease expiry
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for _, s := range c.slots {
+		s.mu.Lock()
+		sess := s.sess
+		s.mu.Unlock()
+		if sess == nil {
+			continue
+		}
+		for sess.Pending() > 0 && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}

@@ -124,9 +124,13 @@ type Engine struct {
 	g    *bipartite.Graph
 	part Partition
 	opts Options
+	op   ops // shared per-rank superstep bodies (see ops.go)
 
 	ranks []*rank
 	tr    *transport // nil: the network is reliable
+
+	// census accumulators indexed by rank id, reused across phases.
+	censusAX, censusRY []int64
 
 	stats Stats
 
@@ -157,24 +161,13 @@ func New(g *bipartite.Graph, opts Options) *Engine {
 		part: NewPartition(opts.Ranks, g.NX(), g.NY()),
 		opts: opts,
 	}
+	e.op = ops{g: g, part: e.part}
 	e.ranks = make([]*rank, e.part.K)
 	for i := range e.ranks {
-		xlo, xhi := e.part.RangeX(i)
-		ylo, yhi := e.part.RangeY(i)
-		r := &rank{ //lint:ignore hotpath-alloc constructor setup: one rank per partition block, allocated once per engine
-			id: i, xlo: xlo, xhi: xhi, ylo: ylo, yhi: yhi,
-			rootX:     make([]int32, xhi-xlo),
-			mateX:     make([]int32, xhi-xlo),
-			leaf:      make([]int32, xhi-xlo),
-			visited:   make([]bool, yhi-ylo),
-			parentY:   make([]int32, yhi-ylo),
-			rootY:     make([]int32, yhi-ylo),
-			mateY:     make([]int32, yhi-ylo),
-			renewable: make([]bool, g.NX()),
-			out:       make([][]message, e.part.K),
-		}
-		e.ranks[i] = r
+		e.ranks[i] = newRank(e.part, g.NX(), i)
 	}
+	e.censusAX = make([]int64, e.part.K)
+	e.censusRY = make([]int64, e.part.K)
 	if opts.Faults != nil {
 		e.stats.Faults = &FaultStats{}
 		e.tr = newTransport(*opts.Faults, e.stats.Faults)
@@ -232,16 +225,7 @@ func RunCtx(ctx context.Context, g *bipartite.Graph, m *matching.Matching, opts 
 // scatter distributes the initial matching and resets per-rank state.
 func (e *Engine) scatter(m *matching.Matching) {
 	e.eachRank(func(r *rank) {
-		for x := r.xlo; x < r.xhi; x++ {
-			r.mateX[r.lx(x)] = m.MateX[x]
-			r.rootX[r.lx(x)] = none
-			r.leaf[r.lx(x)] = none
-		}
-		for y := r.ylo; y < r.yhi; y++ {
-			r.mateY[r.ly(y)] = m.MateY[y]
-			r.rootY[r.ly(y)] = none
-			r.parentY[r.ly(y)] = none
-		}
+		e.op.scatter(r, m.MateX[r.xlo:r.xhi], m.MateY[r.ylo:r.yhi])
 	})
 }
 
@@ -277,8 +261,7 @@ func (e *Engine) exchange() {
 	e.stats.Supersteps++
 	var allNew []int32
 	for _, r := range e.ranks {
-		allNew = append(allNew, r.newRenewable...)
-		r.newRenewable = r.newRenewable[:0]
+		allNew = takeNewRenewable(r, allNew)
 	}
 	var msgs int64
 	for _, s := range e.ranks {
@@ -304,9 +287,7 @@ func (e *Engine) exchange() {
 	if e.tr != nil {
 		e.tr.deliver(e.ranks) // fills every inbox, clears every outbox
 		e.eachRank(func(d *rank) {
-			for _, root := range allNew {
-				d.renewable[root] = true
-			}
+			e.op.mergeRenewable(d, allNew)
 		})
 		return
 	}
@@ -315,9 +296,7 @@ func (e *Engine) exchange() {
 		for _, s := range e.ranks {
 			d.in = append(d.in, s.out[d.id]...)
 		}
-		for _, root := range allNew {
-			d.renewable[root] = true
-		}
+		e.op.mergeRenewable(d, allNew)
 	})
 	for _, s := range e.ranks {
 		for dst := range s.out {
@@ -381,16 +360,7 @@ func (e *Engine) phaseDone(phaseStart time.Time) {
 
 // seedFromUnmatched roots a fresh singleton tree at every owned unmatched X.
 func (e *Engine) seedFromUnmatched() {
-	e.eachRank(func(r *rank) {
-		r.frontier = r.frontier[:0]
-		for x := r.xlo; x < r.xhi; x++ {
-			if r.mateX[r.lx(x)] == none {
-				r.rootX[r.lx(x)] = x
-				r.leaf[r.lx(x)] = none
-				r.frontier = append(r.frontier, x)
-			}
-		}
-	})
+	e.eachRank(e.op.seed)
 }
 
 // frontierEmpty checks global frontier emptiness (an allreduce in MPI).
@@ -409,40 +379,11 @@ func (e *Engine) frontierEmpty() bool {
 // The context is polled between levels — forest state is partial there, but
 // the mate arrays are untouched, so stopping is always safe.
 func (e *Engine) bfs(ctx context.Context) error {
-	// The superstep bodies are loop-invariant; building them once per bfs
+	// The superstep bodies are loop-invariant; binding them once per bfs
 	// call keeps the level loop free of per-iteration closure allocations.
-	//
-	// Expand (top-down): offer every neighbor of active frontier vertices
-	// to its owner.
-	expand := func(r *rank) {
-		for _, x := range r.frontier {
-			if !r.active(x) {
-				continue
-			}
-			root := r.rootX[r.lx(x)]
-			for _, y := range e.g.NbrX(x) {
-				r.send(e.part.OwnerY(y), message{mClaim, y, x, root})
-			}
-		}
-		r.frontier = r.frontier[:0]
-	}
-	// Claim: owners resolve first-come claims on their Y vertices.
-	claim := func(r *rank) {
-		for _, msg := range r.in {
-			y, x, root := msg.a, msg.b, msg.c
-			if r.visited[r.ly(y)] || r.renewable[root] {
-				continue
-			}
-			r.visited[r.ly(y)] = true
-			r.parentY[r.ly(y)] = x
-			r.rootY[r.ly(y)] = root
-			if mate := r.mateY[r.ly(y)]; mate != none {
-				r.send(e.part.OwnerX(mate), message{mAddFrontier, mate, root, 0})
-			} else {
-				r.send(e.part.OwnerX(root), message{mSetLeaf, root, y, 0})
-			}
-		}
-	}
+	expand := e.op.expand
+	claim := func(r *rank) { e.op.claim(r, r.in) }
+	apply := func(r *rank) { e.op.apply(r, r.in) }
 	for !e.frontierEmpty() {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -457,25 +398,7 @@ func (e *Engine) bfs(ctx context.Context) error {
 		e.eachRank(claim)
 		e.exchange()
 
-		// Apply: install frontier additions and leaf discoveries.
-		e.eachRank(func(r *rank) {
-			for _, msg := range r.in {
-				switch msg.kind {
-				case mAddFrontier:
-					x, root := msg.a, msg.b
-					r.rootX[r.lx(x)] = root
-					r.frontier = append(r.frontier, x)
-				case mSetLeaf:
-					root, y := msg.a, msg.b
-					if r.leaf[r.lx(root)] == none || r.renewable[root] {
-						r.leaf[r.lx(root)] = y
-					}
-					if !r.renewable[root] {
-						r.newRenewable = append(r.newRenewable, root)
-					}
-				}
-			}
-		})
+		e.eachRank(apply)
 		e.exchange()
 	}
 	return nil
@@ -499,15 +422,7 @@ func (e *Engine) countEdges() {
 // mate and forwards the walk toward the root.
 func (e *Engine) augment() int64 {
 	// Initiate a walk per owned renewable root.
-	e.eachRank(func(r *rank) {
-		for x := r.xlo; x < r.xhi; x++ {
-			if r.mateX[r.lx(x)] == none && r.rootX[r.lx(x)] == x && r.renewable[x] && r.leaf[r.lx(x)] != none {
-				r.paths++
-				y := r.leaf[r.lx(x)]
-				r.send(e.part.OwnerY(y), message{mWalkY, y, x, 0})
-			}
-		}
-	})
+	e.eachRank(e.op.augInit)
 
 	live := func() bool {
 		for _, r := range e.ranks {
@@ -522,27 +437,7 @@ func (e *Engine) augment() int64 {
 
 	// Loop-invariant token-passing body, hoisted so each walk round does
 	// not allocate a fresh closure.
-	step := func(r *rank) {
-		for _, msg := range r.in {
-			switch msg.kind {
-			case mWalkY:
-				y, root := msg.a, msg.b
-				x := r.parentY[r.ly(y)]
-				r.send(e.part.OwnerX(x), message{mMatchReq, x, y, root})
-			case mMatchReq:
-				x, y, root := msg.a, msg.b, msg.c
-				prev := r.mateX[r.lx(x)]
-				r.mateX[r.lx(x)] = y
-				r.send(e.part.OwnerY(y), message{mMateAck, y, x, 0})
-				if x != root {
-					r.send(e.part.OwnerY(prev), message{mWalkY, prev, root, 0})
-				}
-			case mMateAck:
-				y, x := msg.a, msg.b
-				r.mateY[r.ly(y)] = x
-			}
-		}
-	}
+	step := func(r *rank) { e.op.augStep(r, r.in) }
 	for live() {
 		e.exchange()
 		e.eachRank(step)
@@ -561,111 +456,33 @@ func (e *Engine) augment() int64 {
 // reset, and either an offer/accept grafting exchange or a full restart
 // from the unmatched X vertices.
 func (e *Engine) graft() {
+	e.eachRank(func(r *rank) {
+		e.censusAX[r.id], e.censusRY[r.id] = e.op.census(r)
+	})
 	var activeX, renewYTotal int64
-	e.eachRank(func(r *rank) {
-		r.renewY = r.renewY[:0]
-		r.activeY = r.activeY[:0]
-		for y := r.ylo; y < r.yhi; y++ {
-			root := r.rootY[r.ly(y)]
-			if root == none {
-				continue
-			}
-			if r.renewable[root] {
-				r.renewY = append(r.renewY, y)
-			} else {
-				r.activeY = append(r.activeY, y)
-			}
-		}
-	})
-	for _, r := range e.ranks {
-		for x := r.xlo; x < r.xhi; x++ {
-			if r.active(x) {
-				activeX++
-			}
-		}
-		renewYTotal += int64(len(r.renewY))
+	for i := range e.ranks {
+		activeX += e.censusAX[i]
+		renewYTotal += e.censusRY[i]
 	}
-
-	// Reset renewable Y state so those vertices can be reused.
-	e.eachRank(func(r *rank) {
-		for _, y := range r.renewY {
-			r.visited[r.ly(y)] = false
-			r.rootY[r.ly(y)] = none
-			r.parentY[r.ly(y)] = none
-		}
-	})
 
 	if e.opts.Grafting && float64(activeX) > float64(renewYTotal)/e.opts.Alpha {
 		// Offer/accept grafting: freed Y vertices query the owners of
 		// their neighbors; owners of active X vertices accept; each Y
 		// adopts its first acceptance.
 		e.stats.Grafts++
-		e.eachRank(func(r *rank) {
-			for _, y := range r.renewY {
-				for _, x := range e.g.NbrY(y) {
-					r.send(e.part.OwnerX(x), message{mQuery, x, y, 0})
-				}
-			}
-		})
+		e.eachRank(e.op.graftQuery)
 		e.countEdges()
 		e.exchange()
-		e.eachRank(func(r *rank) {
-			for _, msg := range r.in {
-				x, y := msg.a, msg.b
-				if r.active(x) {
-					r.send(e.part.OwnerY(y), message{mAccept, y, x, r.rootX[r.lx(x)]})
-				}
-			}
-		})
+		e.eachRank(func(r *rank) { e.op.graftAccept(r, r.in) })
 		e.exchange()
-		e.eachRank(func(r *rank) {
-			for _, msg := range r.in {
-				y, x, root := msg.a, msg.b, msg.c
-				if r.visited[r.ly(y)] || r.renewable[root] {
-					continue // already adopted this round, or tree died
-				}
-				r.visited[r.ly(y)] = true
-				r.parentY[r.ly(y)] = x
-				r.rootY[r.ly(y)] = root
-				if mate := r.mateY[r.ly(y)]; mate != none {
-					r.send(e.part.OwnerX(mate), message{mAddFrontier, mate, root, 0})
-				} else {
-					r.send(e.part.OwnerX(root), message{mSetLeaf, root, y, 0})
-				}
-			}
-		})
+		e.eachRank(func(r *rank) { e.op.graftAdopt(r, r.in) })
 		e.exchange()
-		e.eachRank(func(r *rank) {
-			for _, msg := range r.in {
-				switch msg.kind {
-				case mAddFrontier:
-					x, root := msg.a, msg.b
-					r.rootX[r.lx(x)] = root
-					r.frontier = append(r.frontier, x)
-				case mSetLeaf:
-					root, y := msg.a, msg.b
-					r.leaf[r.lx(root)] = y
-					if !r.renewable[root] {
-						r.newRenewable = append(r.newRenewable, root)
-					}
-				}
-			}
-		})
+		e.eachRank(func(r *rank) { e.op.graftApply(r, r.in) })
 		e.exchange()
 		return
 	}
 
 	// Rebuild: destroy active trees and restart from unmatched X.
 	e.stats.Rebuilds++
-	e.eachRank(func(r *rank) {
-		for _, y := range r.activeY {
-			r.visited[r.ly(y)] = false
-			r.rootY[r.ly(y)] = none
-			r.parentY[r.ly(y)] = none
-		}
-		for x := r.xlo; x < r.xhi; x++ {
-			r.rootX[r.lx(x)] = none
-		}
-	})
-	e.seedFromUnmatched()
+	e.eachRank(e.op.rebuild)
 }

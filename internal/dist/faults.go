@@ -7,8 +7,8 @@ import (
 
 // Faults configures deterministic fault injection on the simulated network.
 // Point-to-point messages may be dropped, duplicated, or delayed by rank
-// stalls; the transport recovers with a retransmit/ack protocol (bounded
-// exponential backoff, receiver-side deduplication) and escalates to a
+// stalls; the transport recovers with a retransmit/ack protocol (jittered,
+// capped exponential backoff, receiver-side deduplication) and escalates to a
 // reliable channel after MaxRetries transmissions per message or
 // TimeoutRounds delivery rounds per superstep. Collectives (the renewable
 // bitmap allreduce and the frontier-emptiness check) always use the
@@ -66,6 +66,20 @@ func (f Faults) withDefaults() Faults {
 
 // maxBackoff caps the exponential retransmit backoff, in delivery rounds.
 const maxBackoff = 16
+
+// nextBackoff advances a message's retransmit schedule after a loss: the wait
+// until its next attempt is drawn uniformly from [⌈b/2⌉, b] delivery rounds,
+// and the backoff doubles up to maxBackoff. The jitter decorrelates messages
+// dropped in the same round — under a deterministic schedule they would all
+// retransmit in lockstep forever, reproducing the very burst that got them
+// dropped — while the cap keeps worst-case recovery latency bounded.
+// Randomness comes from the transport's seeded source, so a given Seed still
+// replays the exact same schedule.
+func nextBackoff(rng *rand.Rand, backoff int) (wait, next int) {
+	lo := (backoff + 1) / 2
+	wait = lo + rng.Intn(backoff-lo+1)
+	return wait, min(backoff*2, maxBackoff)
+}
 
 // TransientError is the engine's report of a simulated network outage
 // (Faults.FailAfterTimeouts reached). It marks itself transient so a
@@ -140,7 +154,7 @@ type pendMsg struct {
 	msg      message
 	attempts int
 	wait     int // rounds until the next transmission attempt
-	backoff  int // current backoff, doubling up to maxBackoff
+	backoff  int // current jittered backoff window, doubling up to maxBackoff
 	acked    bool
 }
 
@@ -216,7 +230,7 @@ func (t *transport) deliver(ranks []*rank) {
 			}
 			if !reliable && t.rng.Float64() < t.faults.Drop {
 				t.fstats.Dropped++
-				p.wait, p.backoff = p.backoff, min(p.backoff*2, maxBackoff)
+				p.wait, p.backoff = nextBackoff(t.rng, p.backoff)
 				continue
 			}
 			k := recvKey{p.src, p.seq}
@@ -230,7 +244,7 @@ func (t *transport) deliver(ranks []*rank) {
 				// The ack is lost: the sender retransmits a message the
 				// receiver already has; dedup makes that harmless.
 				t.fstats.AcksLost++
-				p.wait, p.backoff = p.backoff, min(p.backoff*2, maxBackoff)
+				p.wait, p.backoff = nextBackoff(t.rng, p.backoff)
 				continue
 			}
 			p.acked = true

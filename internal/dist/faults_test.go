@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"math/rand"
 	"testing"
 
 	"graftmatch/internal/gen"
@@ -164,5 +165,40 @@ func TestDeliverSteadyStateAllocs(t *testing.T) {
 		tr.deliver(ranks)
 	}); avg > 0 {
 		t.Errorf("deliver allocated %.1f times per steady-state superstep, want 0", avg)
+	}
+}
+
+// TestNextBackoffJitteredAndCapped: the per-message retransmit schedule must
+// draw each wait from the jitter window [⌈b/2⌉, b], double the window up to
+// maxBackoff and no further, and replay identically for an equal seed —
+// that determinism is what keeps whole faulty runs replayable.
+func TestNextBackoffJitteredAndCapped(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	backoff := 1
+	for step := 0; step < 20; step++ {
+		lo := (backoff + 1) / 2
+		wait, next := nextBackoff(rng, backoff)
+		if wait < lo || wait > backoff {
+			t.Fatalf("step %d: wait %d outside jitter window [%d, %d]", step, wait, lo, backoff)
+		}
+		if want := min(backoff*2, maxBackoff); next != want {
+			t.Fatalf("step %d: next backoff %d, want %d", step, next, want)
+		}
+		if backoff == maxBackoff && next != maxBackoff {
+			t.Fatalf("step %d: cap not held, next = %d", step, next)
+		}
+		backoff = next
+	}
+
+	// Same seed, same schedule.
+	a, b := rand.New(rand.NewSource(5)), rand.New(rand.NewSource(5))
+	ba, bb := 1, 1
+	for step := 0; step < 50; step++ {
+		wa, na := nextBackoff(a, ba)
+		wb, nb := nextBackoff(b, bb)
+		if wa != wb || na != nb {
+			t.Fatalf("step %d: equal seeds diverged: (%d,%d) vs (%d,%d)", step, wa, na, wb, nb)
+		}
+		ba, bb = na, nb
 	}
 }

@@ -1,0 +1,140 @@
+package net
+
+import (
+	"bufio"
+	"errors"
+	gonet "net"
+	"sync"
+	"time"
+)
+
+// Config tunes a framed connection.
+type Config struct {
+	// Limits bounds inbound frames; the zero value applies defaults.
+	Limits Limits
+
+	// ReadTimeout is the per-frame read deadline: a peer that goes silent
+	// for longer surfaces as a transient *TransportError instead of a
+	// wedged Recv. Heartbeats keep a healthy link under the deadline.
+	// 0 disables the deadline.
+	ReadTimeout time.Duration
+
+	// WriteTimeout is the per-frame write deadline: a peer that stops
+	// draining its socket surfaces as a transient *TransportError instead
+	// of a blocked Send. 0 disables the deadline.
+	WriteTimeout time.Duration
+}
+
+// Conn is a framed, deadline-guarded connection: Send writes one typed
+// frame, Recv reads one. Send is safe for concurrent use (heartbeaters and
+// the protocol driver share the link); Recv is owned by a single reader.
+type Conn struct {
+	c   gonet.Conn
+	cfg Config
+	br  *bufio.Reader
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	rbuf []byte
+}
+
+// NewConn wraps an accepted or dialed connection.
+func NewConn(c gonet.Conn, cfg Config) *Conn {
+	return &Conn{c: c, cfg: cfg, br: bufio.NewReaderSize(c, 64<<10)}
+}
+
+// Send writes one frame. Frame types at or above the reserved range are the
+// session layer's; application callers get a *FrameError before any bytes
+// move. Write failures and deadline expiries are transient
+// *TransportErrors.
+func (c *Conn) Send(typ byte, payload []byte) error {
+	return c.send(typ, payload, false)
+}
+
+// sendReserved is Send for the session layer's own control frames.
+func (c *Conn) sendReserved(typ byte, payload []byte) error {
+	return c.send(typ, payload, true)
+}
+
+func (c *Conn) send(typ byte, payload []byte, reserved bool) error {
+	if !reserved && typ >= typeReserved {
+		return &FrameError{Reason: "application frame type in reserved range"}
+	}
+	// wmu exists to serialize whole-frame writes: the I/O under it is the
+	// point, and the write deadline bounds how long the lock can be held.
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.cfg.WriteTimeout > 0 {
+		if err := c.c.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout)); err != nil { //lint:ignore lock-discipline deadline setter; wmu serializes frame writes by design
+			return &TransportError{Op: "write", Err: err}
+		}
+	}
+	c.wbuf = appendFrame(c.wbuf[:0], typ, payload)
+	if _, err := c.c.Write(c.wbuf); err != nil { //lint:ignore lock-discipline the serialized frame write itself, bounded by the write deadline
+		return classify("write", err) //lint:ignore lock-discipline error classification on the exit path, no I/O
+	}
+	return nil
+}
+
+// Recv reads one frame. The payload aliases an internal buffer and is valid
+// only until the next Recv. Deadline expiry (a silent peer) is a transient
+// *TransportError; an oversized or malformed frame is a *FrameError and the
+// connection must be closed — the stream is unsynchronized.
+func (c *Conn) Recv() (byte, []byte, error) {
+	if c.cfg.ReadTimeout > 0 {
+		if err := c.c.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout)); err != nil {
+			return 0, nil, &TransportError{Op: "read", Err: err}
+		}
+	}
+	typ, payload, buf, err := readFrame(c.br, c.cfg.Limits, c.rbuf)
+	c.rbuf = buf
+	if err != nil {
+		var fe *FrameError
+		if errors.As(err, &fe) {
+			return 0, nil, fe
+		}
+		return 0, nil, classify("read", err)
+	}
+	return typ, payload, nil
+}
+
+// SetTimeouts replaces the per-frame deadlines (0 disables one). Handshakes
+// want tight deadlines while a silent peer means "gone"; once lease-based
+// watchdogs own liveness the read deadline usually comes off. Not safe
+// concurrently with an active Send or Recv — call it between protocol
+// stages, before handing the conn to a session.
+func (c *Conn) SetTimeouts(read, write time.Duration) {
+	// Disabling a timeout must also disarm any deadline the previous stage
+	// left on the socket — Send/Recv only arm deadlines when a timeout is
+	// configured, so a stale one would fire mid-session otherwise.
+	if read <= 0 && c.cfg.ReadTimeout > 0 {
+		_ = c.c.SetReadDeadline(time.Time{}) //lint:ignore err-checked disarming a deadline on a conn that may already be dead; the next Recv reports that
+	}
+	if write <= 0 && c.cfg.WriteTimeout > 0 {
+		_ = c.c.SetWriteDeadline(time.Time{}) //lint:ignore err-checked disarming a deadline on a conn that may already be dead; the next Send reports that
+	}
+	c.cfg.ReadTimeout = read
+	c.cfg.WriteTimeout = write
+}
+
+// Close tears the connection down; pending Sends and Recvs unblock with
+// errors.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr names the peer, for logs.
+func (c *Conn) RemoteAddr() string {
+	if a := c.c.RemoteAddr(); a != nil {
+		return a.String()
+	}
+	return "?"
+}
+
+// classify wraps an I/O error as a transient *TransportError, tagging
+// deadline expiries so callers can distinguish "peer silent" from "peer
+// gone".
+func classify(op string, err error) error {
+	var ne gonet.Error
+	timeout := errors.As(err, &ne) && ne.Timeout()
+	return &TransportError{Op: op, Timeout: timeout, Err: err}
+}

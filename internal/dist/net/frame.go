@@ -1,0 +1,55 @@
+package net
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// Wire format: every frame is a 5-byte header — 1 type byte, 4-byte
+// big-endian payload length — followed by the payload. Application frame
+// types must stay below typeReserved; the session layer owns the rest for
+// its acknowledgement traffic.
+const (
+	headerSize = 5
+
+	// typeReserved is the first frame type reserved for the transport
+	// itself; applications must use types below it.
+	typeReserved byte = 0xF0
+
+	// typeAck is the session layer's cumulative acknowledgement frame.
+	typeAck byte = 0xF0
+)
+
+// appendFrame appends one encoded frame to dst and returns it.
+func appendFrame(dst []byte, typ byte, payload []byte) []byte {
+	dst = append(dst, typ)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// readFrame reads one frame from r, reusing buf for the payload when it has
+// capacity. The returned payload aliases the (possibly grown) buffer, which
+// is also returned for reuse. A length header beyond lim.MaxFrame or a
+// reserved type seen where the caller forbids it is a *FrameError; transport
+// failures are returned as-is for the caller to classify.
+func readFrame(r io.Reader, lim Limits, buf []byte) (typ byte, payload, newBuf []byte, err error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	typ = hdr[0]
+	n := int(binary.BigEndian.Uint32(hdr[1:]))
+	if n > lim.maxFrame() {
+		return 0, nil, buf, &FrameError{Reason: "payload exceeds frame limit", Size: n}
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		// A truncated payload after a valid header: the stream died
+		// mid-frame. Report as I/O, the conn layer classifies it.
+		return 0, nil, buf, err
+	}
+	return typ, buf, buf, nil
+}

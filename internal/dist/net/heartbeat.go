@@ -1,0 +1,106 @@
+package net
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Monitor is the heartbeat-based failure detector: the owner calls Touch on
+// every frame received from a peer (heartbeats included), and Expired
+// reports peers silent past Interval*Miss. Pure bookkeeping — the owner
+// decides what death means (respawn a rank, abort a minority partition).
+type Monitor struct {
+	interval time.Duration
+	miss     int
+
+	mu   sync.Mutex
+	last map[int]time.Time
+}
+
+// NewMonitor tracks peers with the given heartbeat interval, declaring a
+// peer dead after miss consecutive intervals of silence (miss < 2 means 2,
+// so one delayed heartbeat is never a death sentence).
+func NewMonitor(interval time.Duration, miss int) *Monitor {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if miss < 2 {
+		miss = 2
+	}
+	return &Monitor{interval: interval, miss: miss, last: make(map[int]time.Time)}
+}
+
+// Deadline is the silence duration past which a peer is declared dead.
+func (m *Monitor) Deadline() time.Duration {
+	return m.interval * time.Duration(m.miss)
+}
+
+// Interval is the expected heartbeat period.
+func (m *Monitor) Interval() time.Duration { return m.interval }
+
+// Touch records life from peer id.
+func (m *Monitor) Touch(id int) {
+	now := time.Now()
+	m.mu.Lock()
+	m.last[id] = now
+	m.mu.Unlock()
+}
+
+// Forget stops tracking peer id (it left cleanly or was replaced).
+func (m *Monitor) Forget(id int) {
+	m.mu.Lock()
+	delete(m.last, id)
+	m.mu.Unlock()
+}
+
+// Expired returns the tracked peers whose silence has passed the deadline,
+// in ascending id order is NOT guaranteed; callers sort if they care.
+func (m *Monitor) Expired(now time.Time) []int {
+	dl := m.Deadline()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var dead []int
+	for id, t := range m.last {
+		if now.Sub(t) > dl {
+			dead = append(dead, id)
+		}
+	}
+	return dead
+}
+
+// Silence reports how long peer id has been quiet; ok is false for an
+// untracked peer.
+func (m *Monitor) Silence(id int, now time.Time) (time.Duration, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.last[id]
+	if !ok {
+		return 0, false
+	}
+	return now.Sub(t), true
+}
+
+// Heartbeat sends unreliable frames of type typ on s every interval until
+// ctx is done. It runs on the caller's goroutine choice; typical use is
+//
+//	go net.Heartbeat(ctx, sess, fHB, interval)
+//
+// and the ctx cancellation is the join signal.
+func Heartbeat(ctx context.Context, s *Session, typ byte, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := s.SendUnreliable(typ, nil); err != nil {
+				return // session closed; nothing left to keep alive
+			}
+		}
+	}
+}

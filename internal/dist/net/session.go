@@ -1,0 +1,417 @@
+package net
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// unreliableSeq marks a frame outside the reliable stream (heartbeats):
+// delivered if it arrives, never buffered, retransmitted, or acked.
+const unreliableSeq = ^uint64(0)
+
+// ErrSessionClosed is returned by Send and Recv after Close.
+var ErrSessionClosed = errors.New("distnet: session closed")
+
+// ErrBacklog is returned by Send when the unacked buffer is full: the peer
+// has been unreachable for long enough that reliable delivery would need
+// unbounded memory. The cluster layer treats the peer as failed.
+var ErrBacklog = errors.New("distnet: session backlog full (peer unreachable)")
+
+// Msg is one application frame delivered by a Session. The payload is owned
+// by the receiver.
+type Msg struct {
+	Type    byte
+	Payload []byte
+}
+
+// SessionStats counts the session's reliability work.
+type SessionStats struct {
+	FramesSent  int64 // first transmissions of reliable frames
+	FramesRecv  int64 // frames delivered to the application
+	Retransmits int64 // second-and-later transmissions
+	Attaches    int64 // connections attached (first attach included)
+	Discarded   int64 // duplicate or out-of-order frames dropped by go-back-N
+}
+
+// SessionConfig tunes a Session.
+type SessionConfig struct {
+	// RTO is the retransmit backoff schedule (jittered, capped). The zero
+	// value uses the Backoff defaults.
+	RTO BackoffConfig
+
+	// MaxUnacked bounds the buffered unacked frames before Send fails with
+	// ErrBacklog; 0 means 1<<16.
+	MaxUnacked int
+
+	// RecvBuffer is the delivered-message channel capacity; 0 means 1024.
+	RecvBuffer int
+}
+
+// Session is a reliable, in-order, exactly-once frame stream over a
+// replaceable connection. Every reliable frame carries a sequence number;
+// the receiver delivers in order, discards duplicates, and acks
+// cumulatively; the sender buffers frames until acked, retransmits on a
+// jittered capped backoff (go-back-N), and replays the unacked tail when a
+// fresh connection is attached after a drop — so a chaos proxy losing
+// frames, a TCP reset, or a brief partition delays the stream but never
+// corrupts it.
+//
+// One goroutine owns Recv; Send is safe for concurrent use. The owner
+// learns about a lost connection via Detached and decides whether to
+// re-dial (workers) or await a re-accept (the coordinator).
+type Session struct {
+	cfg SessionConfig
+	rto *Backoff
+
+	mu      sync.Mutex
+	conn    *Conn
+	gen     int // attach generation; readLoops from older conns are ignored
+	out     []outFrame
+	nextSeq uint64 // seq assigned to the next reliable Send
+	acked   uint64 // highest cumulatively acked outbound seq
+	expect  uint64 // next inbound seq to deliver
+	closed  bool
+
+	recvCh   chan Msg
+	detachCh chan struct{}
+	closeCh  chan struct{}
+	wg       sync.WaitGroup
+
+	nSent, nRecv, nRetrans, nAttach, nDiscard atomic.Int64
+}
+
+// outFrame is one unacked reliable frame in wire form (seq-prefixed
+// payload), kept for retransmission and reconnect replay.
+type outFrame struct {
+	seq  uint64
+	typ  byte
+	wire []byte // 8-byte seq + application payload
+}
+
+// NewSession creates a detached session; Attach connects it. Close releases
+// its retransmit goroutine.
+func NewSession(cfg SessionConfig) *Session {
+	if cfg.MaxUnacked <= 0 {
+		cfg.MaxUnacked = 1 << 16
+	}
+	if cfg.RecvBuffer <= 0 {
+		cfg.RecvBuffer = 1024
+	}
+	s := &Session{
+		cfg:      cfg,
+		rto:      cfg.RTO.New(),
+		nextSeq:  1,
+		expect:   1,
+		recvCh:   make(chan Msg, cfg.RecvBuffer),
+		detachCh: make(chan struct{}, 1),
+		closeCh:  make(chan struct{}),
+	}
+	s.wg.Add(1) //lint:ignore wg-balance retransmitLoop's first deferred statement is the matching Done
+	go s.retransmitLoop()
+	return s
+}
+
+// Attach puts a live connection under the session and replays every unacked
+// frame. The previous connection, if any, is closed. Safe to call from any
+// goroutine; typically the dial/accept path.
+func (s *Session) Attach(c *Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = c.Close() //lint:ignore err-checked closing a conn attached after session close; nothing to report to
+		return
+	}
+	if s.conn != nil {
+		_ = s.conn.Close() //lint:ignore err-checked,lock-discipline superseded connection; Close tears down a socket without waiting
+	}
+	s.conn = c
+	s.gen++
+	gen := s.gen
+	replay := make([]outFrame, len(s.out))
+	copy(replay, s.out)
+	s.mu.Unlock()
+	s.nAttach.Add(1)
+
+	for _, f := range replay {
+		if err := c.Send(f.typ, f.wire); err != nil {
+			break // conn already dead again; retransmit loop will retry
+		}
+		s.nRetrans.Add(1)
+	}
+	s.wg.Add(1) //lint:ignore wg-balance readLoop's first deferred statement is the matching Done
+	go s.readLoop(c, gen)
+}
+
+// Send transmits one reliable application frame (type below the reserved
+// range). A dead connection is not an error: the frame is buffered and
+// replayed on the next attach. Send fails only when the session is closed,
+// the backlog is full, or the type is reserved.
+func (s *Session) Send(typ byte, payload []byte) error {
+	if typ >= typeReserved {
+		return &FrameError{Reason: "application frame type in reserved range"}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrSessionClosed
+	}
+	if len(s.out) >= s.cfg.MaxUnacked {
+		s.mu.Unlock()
+		return ErrBacklog
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	wire := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint64(wire, seq)
+	copy(wire[8:], payload)
+	s.out = append(s.out, outFrame{seq: seq, typ: typ, wire: wire})
+	conn := s.conn
+	s.mu.Unlock()
+
+	s.nSent.Add(1)
+	if conn != nil {
+		if err := conn.Send(typ, wire); err != nil {
+			s.detach(conn) // buffered; replay recovers it
+		}
+	}
+	return nil
+}
+
+// SendUnreliable transmits one frame outside the reliable stream — lost if
+// the link is down or a chaos proxy drops it. Heartbeats use this: a stale
+// heartbeat is worthless, so buffering them would only delay real traffic.
+func (s *Session) SendUnreliable(typ byte, payload []byte) error {
+	if typ >= typeReserved {
+		return &FrameError{Reason: "application frame type in reserved range"}
+	}
+	s.mu.Lock()
+	conn := s.conn
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrSessionClosed
+	}
+	if conn == nil {
+		return nil // detached: unreliable frames are droppable by contract
+	}
+	wire := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint64(wire, unreliableSeq)
+	copy(wire[8:], payload)
+	if err := conn.Send(typ, wire); err != nil {
+		s.detach(conn)
+	}
+	return nil
+}
+
+// Recv delivers the next in-order application frame. It blocks until a
+// frame arrives, the context expires, or the session closes. Messages
+// buffered before a detach keep flowing — losing a connection never loses
+// delivered data.
+func (s *Session) Recv(ctx context.Context) (Msg, error) {
+	select {
+	case m := <-s.recvCh:
+		return m, nil
+	case <-ctx.Done():
+		return Msg{}, ctx.Err()
+	case <-s.closeCh:
+		// Drain-then-closed: a racing deliver may have landed a message.
+		select {
+		case m := <-s.recvCh:
+			return m, nil
+		default:
+			return Msg{}, ErrSessionClosed
+		}
+	}
+}
+
+// Detached signals (capacity-1, coalescing) each time the session loses its
+// connection; the owner re-dials or awaits a re-accept, then calls Attach.
+func (s *Session) Detached() <-chan struct{} { return s.detachCh }
+
+// Connected reports whether a connection is currently attached.
+func (s *Session) Connected() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn != nil
+}
+
+// Pending reports the unacked reliable frames buffered for replay.
+func (s *Session) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.out)
+}
+
+// Stats snapshots the session's reliability counters.
+func (s *Session) Stats() SessionStats {
+	return SessionStats{
+		FramesSent:  s.nSent.Load(),
+		FramesRecv:  s.nRecv.Load(),
+		Retransmits: s.nRetrans.Load(),
+		Attaches:    s.nAttach.Load(),
+		Discarded:   s.nDiscard.Load(),
+	}
+}
+
+// Close tears the session down: the connection is closed, loops drain, and
+// pending Recvs return ErrSessionClosed.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conn := s.conn
+	s.conn = nil
+	close(s.closeCh)
+	s.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close() //lint:ignore err-checked teardown; the session is already closed to callers
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// detach drops conn if it is still the session's current connection and
+// signals the owner. Later attaches are untouched (generation check).
+func (s *Session) detach(conn *Conn) {
+	s.mu.Lock()
+	if s.conn != conn {
+		s.mu.Unlock()
+		return
+	}
+	s.conn = nil
+	s.mu.Unlock()
+	_ = conn.Close() //lint:ignore err-checked the link already failed; close is cleanup
+	select {
+	case s.detachCh <- struct{}{}:
+	default: // a detach signal is already pending; one is enough
+	}
+}
+
+// readLoop drains one attached connection: acks advance the send window,
+// reliable frames are delivered in order (go-back-N: exactly seq == expect,
+// everything else is discarded and re-acked), unreliable frames are
+// delivered as-is.
+func (s *Session) readLoop(c *Conn, gen int) {
+	defer s.wg.Done()
+	var ackBuf [8]byte
+	for {
+		typ, payload, err := c.Recv()
+		if err != nil {
+			s.mu.Lock()
+			stale := s.gen != gen || s.closed
+			s.mu.Unlock()
+			if !stale {
+				s.detach(c)
+			}
+			return
+		}
+		if typ == typeAck {
+			if len(payload) != 8 {
+				s.detach(c)
+				return
+			}
+			s.handleAck(binary.LittleEndian.Uint64(payload))
+			continue
+		}
+		if len(payload) < 8 {
+			s.detach(c) // stream desync: every session frame is seq-prefixed
+			return
+		}
+		seq := binary.LittleEndian.Uint64(payload)
+		body := payload[8:]
+		if seq == unreliableSeq {
+			s.deliver(Msg{Type: typ, Payload: append([]byte(nil), body...)}) //lint:ignore hotpath-alloc the conn read buffer is reused; delivered payloads must be owned copies
+			continue
+		}
+		s.mu.Lock()
+		inOrder := seq == s.expect
+		if inOrder {
+			s.expect++
+		}
+		ack := s.expect - 1
+		s.mu.Unlock()
+		if inOrder {
+			s.deliver(Msg{Type: typ, Payload: append([]byte(nil), body...)}) //lint:ignore hotpath-alloc the conn read buffer is reused; delivered payloads must be owned copies
+		} else {
+			s.nDiscard.Add(1)
+		}
+		// Cumulative ack either confirms the new frame or re-tells the
+		// sender where the stream stands (duplicate / gap).
+		binary.LittleEndian.PutUint64(ackBuf[:], ack)
+		if err := c.sendReserved(typeAck, ackBuf[:]); err != nil {
+			s.detach(c)
+			return
+		}
+	}
+}
+
+// deliver hands a message to Recv, blocking (backpressure) unless the
+// session closes first.
+func (s *Session) deliver(m Msg) {
+	s.nRecv.Add(1)
+	select {
+	case s.recvCh <- m:
+	case <-s.closeCh:
+	}
+}
+
+// handleAck advances the send window and drops acked frames.
+func (s *Session) handleAck(ack uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ack <= s.acked {
+		return
+	}
+	s.acked = ack
+	i := 0
+	for i < len(s.out) && s.out[i].seq <= ack {
+		i++
+	}
+	if i > 0 {
+		s.out = append(s.out[:0], s.out[i:]...)
+	}
+	s.rto.Reset() // forward progress: rewind the retransmit schedule
+}
+
+// retransmitLoop rewrites the unacked tail whenever an RTO elapses without
+// ack progress, escalating the RTO on the jittered capped schedule and
+// rewinding it when acks move again.
+func (s *Session) retransmitLoop() {
+	defer s.wg.Done()
+	var lastAcked uint64
+	timer := time.NewTimer(s.rto.Next())
+	defer timer.Stop()
+	for {
+		select {
+		case <-s.closeCh:
+			return
+		case <-timer.C:
+		}
+		s.mu.Lock()
+		acked := s.acked
+		conn := s.conn
+		var frames []outFrame
+		if len(s.out) > 0 && conn != nil && acked == lastAcked {
+			frames = make([]outFrame, len(s.out)) //lint:ignore hotpath-alloc retransmission is the rare recovery path, never steady state
+			copy(frames, s.out)
+		}
+		lastAcked = acked
+		s.mu.Unlock()
+
+		for _, f := range frames {
+			if err := conn.Send(f.typ, f.wire); err != nil {
+				s.detach(conn)
+				break
+			}
+			s.nRetrans.Add(1)
+		}
+		timer.Reset(s.rto.Next())
+	}
+}

@@ -1,0 +1,326 @@
+package net
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	gonet "net"
+	"testing"
+	"time"
+)
+
+// sessionServer accepts connections on a loopback listener and attaches each
+// to sess, recording the raw conns so tests can sever links on demand.
+type sessionServer struct {
+	ln   gonet.Listener
+	sess *Session
+
+	rawCh chan gonet.Conn
+}
+
+func newSessionServer(t *testing.T, sess *Session, cfg Config) *sessionServer {
+	t.Helper()
+	ln, err := gonet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := &sessionServer{ln: ln, sess: sess, rawCh: make(chan gonet.Conn, 8)}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			select {
+			case sv.rawCh <- c:
+			default:
+			}
+			sess.Attach(NewConn(c, cfg))
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return sv
+}
+
+func (sv *sessionServer) addr() string { return sv.ln.Addr().String() }
+
+func dialSession(t *testing.T, addr string, sess *Session, cfg Config) {
+	t.Helper()
+	c, err := DialOnce(context.Background(), addr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Attach(c)
+}
+
+func payloadFor(i int) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(i))
+	return b
+}
+
+// recvN drains n reliable frames and checks they arrive in order with the
+// payloads payloadFor(0..n-1) — the exactly-once, in-order contract.
+func recvN(t *testing.T, s *Session, n int, timeout time.Duration) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	for i := 0; i < n; i++ {
+		m, err := s.Recv(ctx)
+		if err != nil {
+			t.Fatalf("Recv %d/%d: %v", i, n, err)
+		}
+		if len(m.Payload) != 8 {
+			t.Fatalf("frame %d: payload %x", i, m.Payload)
+		}
+		if got := binary.LittleEndian.Uint64(m.Payload); got != uint64(i) {
+			t.Fatalf("frame %d: out of order or duplicated, got seq %d", i, got)
+		}
+	}
+}
+
+func TestSessionInOrderDelivery(t *testing.T) {
+	cfg := Config{}
+	rto := BackoffConfig{Base: 20 * time.Millisecond, Max: 200 * time.Millisecond, Seed: 7}
+	server := NewSession(SessionConfig{RTO: rto})
+	client := NewSession(SessionConfig{RTO: rto})
+	defer server.Close()
+	defer client.Close()
+	sv := newSessionServer(t, server, cfg)
+	dialSession(t, sv.addr(), client, cfg)
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := client.Send(1, payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recvN(t, server, n, 5*time.Second)
+	// Full duplex: the other direction shares the link.
+	for i := 0; i < n; i++ {
+		if err := server.Send(2, payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recvN(t, client, n, 5*time.Second)
+
+	if st := client.Stats(); st.FramesSent != n || st.FramesRecv != n {
+		t.Fatalf("client stats %+v, want %d sent / %d recv", st, n, n)
+	}
+	if p := client.Pending(); p != 0 {
+		t.Fatalf("client still has %d unacked frames after full ack", p)
+	}
+}
+
+func TestSessionChaosDropDupLatency(t *testing.T) {
+	cfg := Config{}
+	rto := BackoffConfig{Base: 15 * time.Millisecond, Max: 120 * time.Millisecond, Seed: 3}
+	server := NewSession(SessionConfig{RTO: rto})
+	client := NewSession(SessionConfig{RTO: rto})
+	defer server.Close()
+	defer client.Close()
+	sv := newSessionServer(t, server, cfg)
+
+	proxy, err := NewProxy(sv.addr(), Chaos{
+		Seed:      11,
+		Drop:      0.15,
+		Duplicate: 0.15,
+		Latency:   time.Millisecond,
+	}, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	dialSession(t, proxy.Addr(), client, cfg)
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := client.Send(1, payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recvN(t, server, n, 30*time.Second)
+
+	ps := proxy.Stats()
+	if ps.Dropped == 0 && ps.Duplicated == 0 {
+		t.Fatalf("chaos proxy injected nothing: %+v", ps)
+	}
+	// Dropped frames force retransmits; duplicated frames force discards.
+	cs, ss := client.Stats(), server.Stats()
+	if ps.Dropped > 0 && cs.Retransmits == 0 {
+		t.Fatalf("frames were dropped (%d) but nothing was retransmitted: %+v", ps.Dropped, cs)
+	}
+	if ss.FramesRecv != n {
+		t.Fatalf("server delivered %d frames, want exactly %d", ss.FramesRecv, n)
+	}
+}
+
+func TestSessionPartitionHeals(t *testing.T) {
+	cfg := Config{}
+	rto := BackoffConfig{Base: 15 * time.Millisecond, Max: 120 * time.Millisecond, Seed: 5}
+	server := NewSession(SessionConfig{RTO: rto})
+	client := NewSession(SessionConfig{RTO: rto})
+	defer server.Close()
+	defer client.Close()
+	sv := newSessionServer(t, server, cfg)
+	proxy, err := NewProxy(sv.addr(), Chaos{Seed: 9}, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	dialSession(t, proxy.Addr(), client, cfg)
+
+	proxy.SetPartition(true)
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := client.Send(1, payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Nothing crosses a partition; frames sit unacked on the sender.
+	time.Sleep(100 * time.Millisecond)
+	if got := server.Stats().FramesRecv; got != 0 {
+		t.Fatalf("%d frames crossed an active partition", got)
+	}
+	proxy.SetPartition(false)
+	recvN(t, server, n, 10*time.Second) // retransmits push them through
+	if client.Stats().Retransmits == 0 {
+		t.Fatal("partition healed without any retransmission")
+	}
+}
+
+func TestSessionReconnectReplaysUnacked(t *testing.T) {
+	cfg := Config{}
+	rto := BackoffConfig{Base: 20 * time.Millisecond, Max: 200 * time.Millisecond, Seed: 13}
+	server := NewSession(SessionConfig{RTO: rto})
+	client := NewSession(SessionConfig{RTO: rto})
+	defer server.Close()
+	defer client.Close()
+	sv := newSessionServer(t, server, cfg)
+	dialSession(t, sv.addr(), client, cfg)
+	raw := <-sv.rawCh
+
+	// Warm up across the first connection.
+	if err := client.Send(1, payloadFor(0)); err != nil {
+		t.Fatal(err)
+	}
+	recvN(t, server, 1, 5*time.Second)
+
+	// Sever the link server-side: the client sees EOF and detaches.
+	raw.Close()
+	select {
+	case <-client.Detached():
+	case <-time.After(5 * time.Second):
+		t.Fatal("client never noticed the severed connection")
+	}
+
+	// Sends while detached buffer silently...
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := client.Send(1, payloadFor(i+1)); err != nil {
+			t.Fatalf("detached Send should buffer, got %v", err)
+		}
+	}
+	if p := client.Pending(); p != n {
+		t.Fatalf("pending = %d, want %d buffered while detached", p, n)
+	}
+
+	// ...and replay on the next attach, continuing the stream in order.
+	dialSession(t, sv.addr(), client, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < n; i++ {
+		m, err := s2recv(ctx, server)
+		if err != nil {
+			t.Fatalf("post-reconnect Recv %d: %v", i, err)
+		}
+		if got := binary.LittleEndian.Uint64(m.Payload); got != uint64(i+1) {
+			t.Fatalf("post-reconnect frame %d: got seq %d", i, got)
+		}
+	}
+	if st := client.Stats(); st.Attaches != 2 {
+		t.Fatalf("attaches = %d, want 2", st.Attaches)
+	}
+}
+
+// s2recv is Recv with the error already shaped for test use.
+func s2recv(ctx context.Context, s *Session) (Msg, error) {
+	m, err := s.Recv(ctx)
+	if err != nil {
+		return Msg{}, fmt.Errorf("recv: %w", err)
+	}
+	return m, nil
+}
+
+func TestSessionBacklogBound(t *testing.T) {
+	s := NewSession(SessionConfig{MaxUnacked: 4})
+	defer s.Close()
+	for i := 0; i < 4; i++ {
+		if err := s.Send(1, payloadFor(i)); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	if err := s.Send(1, payloadFor(4)); !errors.Is(err, ErrBacklog) {
+		t.Fatalf("overfull Send: got %v, want ErrBacklog", err)
+	}
+}
+
+func TestSessionCloseUnblocksRecv(t *testing.T) {
+	s := NewSession(SessionConfig{})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.Recv(context.Background())
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	s.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrSessionClosed) {
+			t.Fatalf("Recv after Close: got %v, want ErrSessionClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+	// Send after Close fails fast too.
+	if err := s.Send(1, nil); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Send after Close: got %v, want ErrSessionClosed", err)
+	}
+}
+
+func TestHeartbeatFlows(t *testing.T) {
+	cfg := Config{}
+	server := NewSession(SessionConfig{})
+	client := NewSession(SessionConfig{})
+	defer server.Close()
+	defer client.Close()
+	sv := newSessionServer(t, server, cfg)
+	dialSession(t, sv.addr(), client, cfg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Heartbeat(ctx, client, 0x20, 10*time.Millisecond)
+	}()
+
+	rctx, rcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer rcancel()
+	for i := 0; i < 3; i++ {
+		m, err := server.Recv(rctx)
+		if err != nil {
+			t.Fatalf("heartbeat %d never arrived: %v", i, err)
+		}
+		if m.Type != 0x20 || len(m.Payload) != 0 {
+			t.Fatalf("heartbeat %d: type %d payload %q", i, m.Type, m.Payload)
+		}
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Heartbeat goroutine did not exit on ctx cancel")
+	}
+}

@@ -1,0 +1,405 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"graftmatch/internal/bipartite"
+	"graftmatch/internal/checkpoint"
+	distnet "graftmatch/internal/dist/net"
+)
+
+// WorkerOptions configures one rank process of a multi-process cluster run.
+type WorkerOptions struct {
+	// Addr is the coordinator's listen address (TCP "host:port" or a unix
+	// socket path).
+	Addr string
+
+	// Rank requests a specific rank id; -1 lets the coordinator assign one.
+	// Respawned replacements request the rank they replace.
+	Rank int
+
+	// G is the worker's copy of the graph. Every process loads the same
+	// input; the Hello/Welcome handshake cross-checks fingerprints.
+	G *bipartite.Graph
+
+	// Limits bounds inbound frames; the zero value uses the package default.
+	Limits distnet.Limits
+
+	// RTO tunes the session retransmit schedule.
+	RTO distnet.BackoffConfig
+
+	// HandshakeTimeout bounds one raw Hello/Welcome exchange; 0 means 10s.
+	// A lossy network drops handshake frames too — the exchange is retried,
+	// so this only sets how fast a dead attempt is abandoned.
+	HandshakeTimeout time.Duration
+
+	// JoinWait bounds the initial join as a whole (dialing plus handshake,
+	// retried on transient failure, so a worker may start before its
+	// coordinator); 0 means 2m.
+	JoinWait time.Duration
+
+	// OnAttach, when non-nil, is called after every successful handshake
+	// (first join and reconnects) with the assigned rank. Tests use it;
+	// the CLI logs it.
+	OnAttach func(rank int)
+}
+
+// workerLink is the handshake result: a connected conn plus the terms the
+// coordinator granted.
+type workerLink struct {
+	conn    *distnet.Conn
+	welcome welcomeFrame
+}
+
+// helloTimeout bounds one raw handshake exchange; a coordinator that accepts
+// the TCP connection but never answers the Hello is treated as down.
+const helloTimeout = 10 * time.Second
+
+// workerNonce distinguishes this process incarnation from any other worker
+// that ever held the same rank. Uniqueness across processes is what matters,
+// not unpredictability.
+func workerNonce() uint64 {
+	return uint64(time.Now().UnixNano()) ^ (uint64(os.Getpid()) << 32)
+}
+
+// join dials the coordinator and runs the raw Hello/Welcome handshake on the
+// fresh conn, before any session traffic.
+func join(ctx context.Context, opts WorkerOptions, nonce uint64, fp checkpoint.Fingerprint, bo *distnet.Backoff) (workerLink, error) {
+	ht := opts.HandshakeTimeout
+	if ht <= 0 {
+		ht = helloTimeout
+	}
+	cfg := distnet.Config{
+		Limits:       opts.Limits,
+		ReadTimeout:  ht,
+		WriteTimeout: ht,
+	}
+	conn, err := distnet.Dial(ctx, opts.Addr, cfg, bo)
+	if err != nil {
+		return workerLink{}, err
+	}
+	hello := encodeHello(helloFrame{
+		Version: protoVersion,
+		Rank:    int32(opts.Rank),
+		Nonce:   nonce,
+		FP:      fp,
+	})
+	if err := conn.Send(fHello, hello); err != nil {
+		_ = conn.Close() //lint:ignore err-checked handshake failed; the conn is being abandoned
+		return workerLink{}, err
+	}
+	deadline := time.Now().Add(ht)
+	for {
+		typ, payload, err := conn.Recv()
+		if err != nil {
+			_ = conn.Close() //lint:ignore err-checked handshake failed; the conn is being abandoned
+			return workerLink{}, err
+		}
+		switch typ {
+		case fWelcome:
+			w, err := decodeWelcome(payload)
+			if err != nil {
+				_ = conn.Close() //lint:ignore err-checked handshake failed; the conn is being abandoned
+				return workerLink{}, err
+			}
+			// Handshake done: the lease watchdog owns liveness from here, so
+			// the tight per-frame read deadline comes off before the session
+			// attaches.
+			conn.SetTimeouts(0, ht)
+			return workerLink{conn: conn, welcome: w}, nil
+		case fAbort:
+			reason, derr := decodeAbort(payload)
+			_ = conn.Close() //lint:ignore err-checked handshake refused; the conn is being abandoned
+			if derr != nil {
+				return workerLink{}, derr
+			}
+			return workerLink{}, fmt.Errorf("dist: coordinator refused join: %s", reason) //lint:ignore hotpath-alloc refusal exit of the handshake wait loop
+		default:
+			// Not garbage but early: on a lossy network our Welcome can be
+			// lost while session traffic (heartbeats, replayed steps) already
+			// flows on this conn. Skip it — the session layer retransmits
+			// anything discarded here — and keep waiting for the Welcome
+			// until the handshake deadline, then redial as a transient
+			// failure (the same nonce makes the retry idempotent).
+			if time.Now().After(deadline) {
+				_ = conn.Close() //lint:ignore err-checked handshake timed out; the conn is being abandoned
+				return workerLink{}, &distnet.TransportError{Op: "handshake", Timeout: true, Err: fmt.Errorf("no welcome within %v", ht)} //lint:ignore hotpath-alloc timeout exit of the handshake wait loop
+			}
+		}
+	}
+}
+
+// transientErr reports whether err marks itself transient (the
+// supervise.Transient convention, matched structurally to avoid the import).
+func transientErr(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// initialJoin retries the first join for up to JoinWait as long as failures
+// stay transient: the coordinator may not be listening yet, and on a lossy
+// network the handshake frames themselves can be lost. A refusal (wrong
+// fingerprint, rank taken, stale incarnation) is final and returns at once.
+// Retrying with the same nonce is idempotent: if a lost Welcome left the
+// coordinator believing this worker already joined, the retry lands on the
+// reattach path.
+func initialJoin(ctx context.Context, opts WorkerOptions, nonce uint64, fp checkpoint.Fingerprint) (workerLink, error) {
+	jw := opts.JoinWait
+	if jw <= 0 {
+		jw = 2 * time.Minute
+	}
+	joinCtx, cancel := context.WithTimeout(ctx, jw)
+	defer cancel()
+	bo := opts.RTO.New()
+	for {
+		link, err := join(joinCtx, opts, nonce, fp, bo)
+		if err == nil {
+			return link, nil
+		}
+		if !transientErr(err) || joinCtx.Err() != nil {
+			return workerLink{}, err
+		}
+		select {
+		case <-joinCtx.Done():
+			return workerLink{}, err
+		case <-time.After(bo.Next()):
+		}
+	}
+}
+
+// RunWorker joins the cluster at opts.Addr and executes superstep orders
+// until the coordinator declares the run complete (nil), aborts it (error),
+// or falls silent past its own granted lease — in which case the worker
+// aborts with a *net.PeerDownError rather than computing on in a minority
+// partition. Reconnects with backoff on connection loss, replaying unacked
+// frames, for as long as the lease holds.
+func RunWorker(ctx context.Context, opts WorkerOptions) error {
+	if opts.G == nil {
+		return fmt.Errorf("dist: worker needs a graph")
+	}
+	fp := checkpoint.GraphFingerprint(opts.G)
+	nonce := workerNonce()
+	link, err := initialJoin(ctx, opts, nonce, fp)
+	if err != nil {
+		return err
+	}
+	w := link.welcome
+	if w.K < 1 || w.Rank < 0 || w.Rank >= w.K {
+		_ = link.conn.Close() //lint:ignore err-checked refusing a nonsensical welcome; the conn is dead to us
+		return &ProtoError{Frame: "welcome", Reason: fmt.Sprintf("rank %d of %d", w.Rank, w.K)}
+	}
+	if opts.OnAttach != nil {
+		opts.OnAttach(int(w.Rank))
+	}
+
+	part := NewPartition(int(w.K), opts.G.NX(), opts.G.NY())
+	r := newRank(part, opts.G.NX(), int(w.Rank))
+	o := ops{g: opts.G, part: part}
+
+	hb := time.Duration(w.HBMillis) * time.Millisecond
+	lease := time.Duration(w.LeaseMillis) * time.Millisecond
+	if hb <= 0 {
+		hb = time.Second
+	}
+	if lease < 2*hb {
+		lease = 2 * hb
+	}
+
+	sess := distnet.NewSession(distnet.SessionConfig{RTO: opts.RTO})
+	defer func() { _ = sess.Close() }() //lint:ignore err-checked teardown at worker exit; the error has no recovery
+	sess.Attach(link.conn)
+
+	runCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	// lastHeard is the lease clock: any frame from the coordinator renews it.
+	// The watchdog goroutine aborts the run when the lease expires — the
+	// split-brain guard: a worker cut off from the coordinator kills itself
+	// while the majority side recovers, so two live processes never both
+	// believe they are rank w.Rank.
+	var heardMu sync.Mutex
+	lastHeard := time.Now()
+	heard := func() {
+		heardMu.Lock()
+		lastHeard = time.Now()
+		heardMu.Unlock()
+	}
+	silence := func() time.Duration {
+		heardMu.Lock()
+		defer heardMu.Unlock()
+		return time.Since(lastHeard)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	defer wg.Wait()
+
+	go func() { // heartbeats keep the coordinator's failure detector fed
+		defer wg.Done()
+		distnet.Heartbeat(runCtx, sess, fHB, hb)
+	}()
+
+	go func() { // lease watchdog
+		defer wg.Done()
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case <-t.C:
+				if s := silence(); s > lease {
+					cancel(&distnet.PeerDownError{Peer: -1, MissedFor: s.String()}) //lint:ignore hotpath-alloc lease-expiry exit, at most once per run
+					return
+				}
+			}
+		}
+	}()
+
+	go func() { // redial on connection loss, same nonce → session replay
+		defer wg.Done()
+		bo := opts.RTO.New()
+		reopts := opts
+		reopts.Rank = int(w.Rank)
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case <-sess.Detached():
+			}
+			link, err := join(runCtx, reopts, nonce, fp, bo)
+			if err != nil {
+				if runCtx.Err() != nil {
+					return
+				}
+				if transientErr(err) {
+					// Lossy handshake or coordinator mid-restart: keep
+					// trying; the lease watchdog bounds how long.
+					continue
+				}
+				// The coordinator refused (rank reassigned, protocol error):
+				// this incarnation is finished.
+				cancel(err)
+				return
+			}
+			sess.Attach(link.conn)
+			heard()
+			if opts.OnAttach != nil {
+				opts.OnAttach(int(w.Rank))
+			}
+		}
+	}()
+
+	epoch := w.Epoch
+	var doneBuf []byte
+	for {
+		m, err := sess.Recv(runCtx)
+		if err != nil {
+			if cause := context.Cause(runCtx); cause != nil && cause != runCtx.Err() {
+				return cause
+			}
+			return err
+		}
+		heard()
+		switch m.Type {
+		case fHB:
+			// lease renewal only
+		case fDone:
+			return nil
+		case fAbort:
+			reason, derr := decodeAbort(m.Payload)
+			if derr != nil {
+				return derr
+			}
+			return fmt.Errorf("dist: coordinator aborted run: %s", reason) //lint:ignore hotpath-alloc abort exit of the step loop
+		case fStep:
+			f, err := decodeStep(m.Payload)
+			if err != nil {
+				return err
+			}
+			if f.Epoch < epoch {
+				continue // stale order from before a recovery; already superseded
+			}
+			epoch = f.Epoch
+			done, err := execStep(o, r, &f)
+			if err != nil {
+				return err
+			}
+			doneBuf = encodeStepDone(doneBuf, done)
+			clearOutboxes(r) // done.Out aliases r.out; encoded, so safe to reset
+			if err := sess.Send(fStepDone, doneBuf); err != nil {
+				return err
+			}
+		default:
+			return &ProtoError{Frame: "step", Reason: fmt.Sprintf("unexpected frame type %d", m.Type)} //lint:ignore hotpath-alloc protocol-violation exit, never taken on a healthy run
+		}
+	}
+}
+
+// execStep runs one superstep order against the rank state and assembles the
+// response: outboxes drained from the rank, newly-renewable roots, and the
+// op's scalar results.
+func execStep(o ops, r *rank, f *stepFrame) (*stepDoneFrame, error) {
+	o.mergeRenewable(r, f.RenewNew)
+	done := &stepDoneFrame{Epoch: f.Epoch, SSID: f.SSID, Op: f.Op}
+	switch f.Op {
+	case opScatter:
+		if len(f.MateX) != int(r.xhi-r.xlo) || len(f.MateY) != int(r.yhi-r.ylo) {
+			return nil, &ProtoError{
+				Frame:  "step",
+				Reason: fmt.Sprintf("scatter sizes (%d,%d), want (%d,%d)", len(f.MateX), len(f.MateY), r.xhi-r.xlo, r.yhi-r.ylo),
+			}
+		}
+		o.scatter(r, f.MateX, f.MateY)
+	case opSeed:
+		o.seed(r)
+		done.Info[0] = int64(len(r.frontier))
+	case opExpand:
+		o.expand(r)
+	case opClaim:
+		o.claim(r, f.In)
+	case opApply:
+		o.apply(r, f.In)
+		done.Info[0] = int64(len(r.frontier))
+	case opAugInit:
+		o.augInit(r)
+		done.Info[0] = r.paths
+		r.paths = 0
+	case opAugStep:
+		o.augStep(r, f.In)
+	case opCensus:
+		done.Info[0], done.Info[1] = o.census(r)
+	case opGraftQuery:
+		o.graftQuery(r)
+	case opGraftAccept:
+		o.graftAccept(r, f.In)
+	case opGraftAdopt:
+		o.graftAdopt(r, f.In)
+	case opGraftApply:
+		o.graftApply(r, f.In)
+		done.Info[0] = int64(len(r.frontier))
+	case opRebuild:
+		o.rebuild(r)
+		done.Info[0] = int64(len(r.frontier))
+	case opReportMates:
+		done.MateX = r.mateX
+		done.MateY = r.mateY
+	default:
+		return nil, &ProtoError{Frame: "step", Reason: fmt.Sprintf("unknown op %d", f.Op)}
+	}
+	done.NewRenew = takeNewRenewable(r, nil)
+	done.Out = r.out
+	return done, nil
+}
+
+// clearOutboxes resets the rank's outboxes after their content is encoded.
+func clearOutboxes(r *rank) {
+	for dst := range r.out {
+		r.out[dst] = r.out[dst][:0]
+	}
+}
