@@ -79,8 +79,11 @@ func applyBaseline(bf *baselineFile, root string, diags []analysis.Diagnostic, s
 }
 
 // writeBaseline records diags as a baseline at path, deduplicated and
-// sorted for stable diffs.
-func writeBaseline(path, root string, diags []analysis.Diagnostic) error {
+// sorted for stable diffs. When path already holds a baseline, entries that
+// no longer match any current finding are dropped and reported on stderr:
+// rewriting the ledger is how debt is retired, and a silent rewrite would
+// hide how much was.
+func writeBaseline(path, root string, diags []analysis.Diagnostic, stderr io.Writer) error {
 	seen := map[baselineEntry]bool{}
 	bf := baselineFile{Version: 1}
 	for _, d := range diags {
@@ -90,6 +93,14 @@ func writeBaseline(path, root string, diags []analysis.Diagnostic) error {
 		}
 		seen[e] = true
 		bf.Entries = append(bf.Entries, e)
+	}
+	if old, err := loadBaseline(path); err == nil {
+		for _, e := range old.Entries {
+			if !seen[e] {
+				fmt.Fprintf(stderr, "graftlint: dropping stale baseline entry: %s: %s: %s\n",
+					e.File, e.Check, e.Message)
+			}
+		}
 	}
 	sort.Slice(bf.Entries, func(i, j int) bool {
 		a, b := bf.Entries[i], bf.Entries[j]

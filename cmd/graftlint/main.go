@@ -1,15 +1,19 @@
 // Command graftlint runs the repo's concurrency-invariant static analysis
 // suite (internal/analysis) over the module and reports findings with
 // file:line diagnostics. It is the machine-checkable wall in front of the
-// atomic-heavy matching kernels: alignment of 64-bit atomics on 32-bit
-// targets, atomic-vs-plain access discipline, cache-line padding of
-// per-worker state, context propagation of the resilient entry points, and
-// error/panic hygiene.
+// atomic-heavy matching kernels and the distributed runtime: alignment of
+// 64-bit atomics on 32-bit targets, atomic-vs-plain access discipline,
+// cache-line padding of per-worker state, context propagation of the
+// resilient entry points, error/panic hygiene, goroutine/lock/WaitGroup
+// flow rules, hot-path allocation, and the value-flow tier over the wire
+// protocol (exhaustive frame dispatch, socket-deadline hygiene, bounded
+// decode allocations, cancellable goroutine channel ops).
 //
 // Usage:
 //
 //	graftlint [-json] [-sarif] [-checks a,b,c] [-list] [-C dir]
-//	          [-baseline file] [-write-baseline file] [packages]
+//	          [-baseline file] [-write-baseline file] [-suppressions]
+//	          [packages]
 //
 // Package patterns are module-relative ("./...", "./internal/queue",
 // "internal/par/..."); with none given the whole module is checked. The
@@ -18,10 +22,14 @@
 //
 //	//lint:ignore <check>[,<check>...] <reason>
 //
-// -sarif emits SARIF 2.1.0 for code-scanning upload instead of text.
+// -sarif emits SARIF 2.1.0 for code-scanning upload instead of text; rules
+// carry per-check severity (defaultConfiguration.level) and a helpUri.
 // -baseline subtracts the findings recorded in a baseline file (keyed by
 // file, check, and message — not line) and warns about stale entries;
-// -write-baseline records the current findings as that file and exits 0.
+// -write-baseline records the current findings as that file, announcing
+// the stale entries it drops, and exits 0. -suppressions reports the
+// //lint:ignore ledger — directive counts per check and file, plus every
+// directive that silenced nothing in the run.
 package main
 
 import (
@@ -50,8 +58,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dirFlag := fs.String("C", "", "module root directory (default: nearest go.mod at or above the working directory)")
 	baselineFlag := fs.String("baseline", "", "subtract findings recorded in this baseline file; warn about stale entries")
 	writeBaselineFlag := fs.String("write-baseline", "", "record current findings to this baseline file and exit 0")
+	suppressionsFlag := fs.Bool("suppressions", false, "report //lint:ignore directives per check and file, flagging any that silence nothing")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: graftlint [-json] [-sarif] [-checks a,b,c] [-list] [-C dir] [-baseline file] [-write-baseline file] [packages]\n")
+		fmt.Fprintf(stderr, "usage: graftlint [-json] [-sarif] [-checks a,b,c] [-list] [-C dir] [-baseline file] [-write-baseline file] [-suppressions] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -99,8 +108,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	diags = filterPatterns(diags, root, fs.Args(), stderr)
 
+	if *suppressionsFlag {
+		reportSuppressions(stdout, root, prog.Suppressions())
+		return 0
+	}
 	if *writeBaselineFlag != "" {
-		if err := writeBaseline(*writeBaselineFlag, root, diags); err != nil {
+		if err := writeBaseline(*writeBaselineFlag, root, diags, stderr); err != nil {
 			fmt.Fprintf(stderr, "graftlint: %v\n", err)
 			return 2
 		}

@@ -158,6 +158,7 @@ func TestListChecks(t *testing.T) {
 	for _, name := range []string{
 		"atomic-align", "mixed-access", "falseshare", "ctx-discipline", "err-checked",
 		"goroutine-leak", "lock-discipline", "wg-balance", "hotpath-alloc",
+		"proto-exhaustive", "deadline-discipline", "bounded-decode", "ctx-select",
 	} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %q:\n%s", name, out)
@@ -187,6 +188,10 @@ func TestSARIFOutput(t *testing.T) {
 						ShortDescription struct {
 							Text string `json:"text"`
 						} `json:"shortDescription"`
+						HelpURI              string `json:"helpUri"`
+						DefaultConfiguration struct {
+							Level string `json:"level"`
+						} `json:"defaultConfiguration"`
 					} `json:"rules"`
 				} `json:"driver"`
 			} `json:"tool"`
@@ -224,15 +229,38 @@ func TestSARIFOutput(t *testing.T) {
 		t.Errorf("driver name = %q, want graftlint", run.Tool.Driver.Name)
 	}
 	ruleIDs := map[string]bool{}
+	ruleLevels := map[string]string{}
 	for _, r := range run.Tool.Driver.Rules {
 		ruleIDs[r.ID] = true
+		ruleLevels[r.ID] = r.DefaultConfiguration.Level
 		if r.ShortDescription.Text == "" {
 			t.Errorf("rule %s has no shortDescription", r.ID)
 		}
+		if r.DefaultConfiguration.Level == "" {
+			t.Errorf("rule %s has no defaultConfiguration.level", r.ID)
+		}
+		if r.ID != "lint-directive" && !strings.Contains(r.HelpURI, r.ID) {
+			t.Errorf("rule %s helpUri = %q, want an anchor naming the check", r.ID, r.HelpURI)
+		}
 	}
-	for _, want := range []string{"err-checked", "goroutine-leak", "lock-discipline", "wg-balance", "hotpath-alloc", "lint-directive"} {
+	for _, want := range []string{"err-checked", "goroutine-leak", "lock-discipline", "wg-balance", "hotpath-alloc",
+		"proto-exhaustive", "deadline-discipline", "bounded-decode", "ctx-select", "lint-directive"} {
 		if !ruleIDs[want] {
 			t.Errorf("driver rules missing %q", want)
+		}
+	}
+	// The level triage: hard invariants are errors, heuristics warn or note.
+	for rule, level := range map[string]string{
+		"err-checked":    "error",
+		"ctx-discipline": "warning",
+		"goroutine-leak": "warning",
+		"falseshare":     "note",
+		"hotpath-alloc":  "note",
+		"bounded-decode": "error",
+		"ctx-select":     "error",
+	} {
+		if ruleLevels[rule] != level {
+			t.Errorf("rule %s level = %q, want %q", rule, ruleLevels[rule], level)
 		}
 	}
 	if len(run.Results) != 2 {
@@ -367,5 +395,109 @@ func TestRepoCleanViaCLI(t *testing.T) {
 	code, out, errb := runLint(t, "-C", root, "./...")
 	if code != 0 {
 		t.Fatalf("graftlint on the repo: exit = %d\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+}
+
+// TestSuppressionsReport drives graftlint -suppressions over a module with
+// one live directive and one stale one: the report must count both and list
+// only the stale directive as silencing nothing, exiting 0 (the audit is a
+// report, not a gate).
+func TestSuppressionsReport(t *testing.T) {
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module supmod\n\ngo 1.22\n",
+		"a/a.go": `// Package a carries one live and one stale suppression.
+package a
+
+import "errors"
+
+func fail() error { return errors.New("boom") }
+
+// Drop is silenced by a live directive.
+func Drop() {
+	fail() //lint:ignore err-checked live: intentional drop for the report test
+}
+
+// Handled propagates the error; the directive above it is dead weight.
+func Handled() error {
+	//lint:ignore err-checked stale: the call below handles its error
+	return fail()
+}
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	code, out, errb := runLint(t, "-C", root, "-suppressions")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, errb)
+	}
+	for _, want := range []string{
+		"2 //lint:ignore directives in 1 file",
+		"err-checked",
+		"a/a.go",
+		"silencing nothing",
+		"a/a.go:15: err-checked — stale: the call below handles its error",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-suppressions output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "live: intentional drop") {
+		t.Errorf("live directive listed as stale:\n%s", out)
+	}
+}
+
+// TestWriteBaselineDropsStale pins the rewrite path: regenerating a baseline
+// after a finding is fixed must shrink the ledger and announce each dropped
+// entry, so retired debt is visible in the rewrite's output.
+func TestWriteBaselineDropsStale(t *testing.T) {
+	root := writeFixtureModule(t)
+	baseline := filepath.Join(root, "lint-baseline.json")
+	if code, _, errb := runLint(t, "-C", root, "-write-baseline", baseline); code != 0 {
+		t.Fatalf("initial write exit = %d; stderr:\n%s", code, errb)
+	}
+
+	// Fix one of the two findings, then rewrite.
+	dirty := filepath.Join(root, "dirty", "dirty.go")
+	src, err := os.ReadFile(dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := strings.Replace(string(src), "func Drop() {\n\tfail()\n}", "func Drop() error {\n\treturn fail()\n}", 1)
+	if fixed == string(src) {
+		t.Fatal("fixture rewrite did not apply")
+	}
+	if err := os.WriteFile(dirty, []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errb := runLint(t, "-C", root, "-write-baseline", baseline)
+	if code != 0 {
+		t.Fatalf("rewrite exit = %d; stderr:\n%s", code, errb)
+	}
+	if !strings.Contains(errb, "dropping stale baseline entry") || !strings.Contains(errb, "discarded") {
+		t.Errorf("rewrite did not announce the dropped entry:\n%s", errb)
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf struct {
+		Entries []struct{ File, Check, Message string } `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &bf); err != nil {
+		t.Fatal(err)
+	}
+	if len(bf.Entries) != 1 {
+		t.Fatalf("rewritten baseline has %d entries, want 1: %+v", len(bf.Entries), bf.Entries)
+	}
+	if !strings.Contains(bf.Entries[0].Message, "panic") {
+		t.Errorf("surviving entry = %+v, want the panic finding", bf.Entries[0])
 	}
 }

@@ -39,8 +39,14 @@ type sarifDriver struct {
 }
 
 type sarifRule struct {
-	ID               string       `json:"id"`
-	ShortDescription sarifMessage `json:"shortDescription"`
+	ID                   string           `json:"id"`
+	ShortDescription     sarifMessage     `json:"shortDescription"`
+	HelpURI              string           `json:"helpUri,omitempty"`
+	DefaultConfiguration *sarifRuleConfig `json:"defaultConfiguration,omitempty"`
+}
+
+type sarifRuleConfig struct {
+	Level string `json:"level"`
 }
 
 type sarifMessage struct {
@@ -77,17 +83,29 @@ type sarifRegion struct {
 // upload expects when the workflow checks out the repository at the root.
 func writeSARIF(w io.Writer, root string, diags []analysis.Diagnostic) error {
 	rules := []sarifRule{{
-		ID:               "lint-directive",
-		ShortDescription: sarifMessage{Text: "malformed //lint:ignore directive"},
+		ID:                   "lint-directive",
+		ShortDescription:     sarifMessage{Text: "malformed //lint:ignore directive"},
+		DefaultConfiguration: &sarifRuleConfig{Level: "error"},
 	}}
+	levels := map[string]string{"lint-directive": "error"}
 	for _, c := range analysis.Checks() {
-		rules = append(rules, sarifRule{ID: c.Name, ShortDescription: sarifMessage{Text: c.Doc}})
+		rules = append(rules, sarifRule{
+			ID:                   c.Name,
+			ShortDescription:     sarifMessage{Text: c.Doc},
+			HelpURI:              c.HelpURI,
+			DefaultConfiguration: &sarifRuleConfig{Level: c.Level},
+		})
+		levels[c.Name] = c.Level
 	}
 	results := make([]sarifResult, 0, len(diags))
 	for _, d := range diags {
+		level := levels[d.Check]
+		if level == "" {
+			level = "error"
+		}
 		results = append(results, sarifResult{
 			RuleID:  d.Check,
-			Level:   "error",
+			Level:   level,
 			Message: sarifMessage{Text: d.Message},
 			Locations: []sarifLocation{{
 				PhysicalLocation: sarifPhysicalLocation{

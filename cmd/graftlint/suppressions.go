@@ -1,0 +1,70 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"graftmatch/internal/analysis"
+)
+
+// reportSuppressions renders the //lint:ignore audit: totals per check and
+// per file, then every directive that silenced nothing in this run. The hit
+// counts come from the full check run the caller already performed, so a
+// zero-hit directive means the code it once justified has moved on (or the
+// run was narrowed with -checks, which the caller controls).
+func reportSuppressions(w io.Writer, root string, dirs []analysis.Directive) {
+	byCheck := map[string]int{}  // check -> directives naming it
+	hitCheck := map[string]int{} // check -> findings silenced
+	byFile := map[string]int{}
+	var stale []analysis.Directive
+	for _, d := range dirs {
+		byFile[relTo(root, d.File)]++
+		for _, c := range d.Checks {
+			byCheck[c]++
+			hitCheck[c] += d.Hits[c]
+		}
+		if d.Silenced() == 0 {
+			stale = append(stale, d)
+		}
+	}
+
+	fmt.Fprintf(w, "%d //lint:ignore directive%s in %d file%s\n",
+		len(dirs), plural(len(dirs)), len(byFile), plural(len(byFile)))
+
+	fmt.Fprintf(w, "\nby check:\n")
+	for _, c := range sortedKeys(byCheck) {
+		fmt.Fprintf(w, "  %-20s %3d directive%s, %d finding%s silenced\n",
+			c, byCheck[c], plural(byCheck[c]), hitCheck[c], plural(hitCheck[c]))
+	}
+
+	fmt.Fprintf(w, "\nby file:\n")
+	for _, f := range sortedKeys(byFile) {
+		fmt.Fprintf(w, "  %-44s %3d\n", f, byFile[f])
+	}
+
+	if len(stale) > 0 {
+		fmt.Fprintf(w, "\nsilencing nothing in this run (stale, or scoped to a narrowed -checks set):\n")
+		for _, d := range stale {
+			fmt.Fprintf(w, "  %s:%d: %s — %s\n",
+				relTo(root, d.File), d.Line, strings.Join(d.Checks, ","), d.Reason)
+		}
+	}
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -136,7 +136,7 @@ func runDistWorker(cfg distRunConfig) error {
 		if err != nil {
 			return fmt.Errorf("chaos proxy: %w", err)
 		}
-		defer func() { _ = proxy.Close() }() //lint:ignore err-checked teardown at worker exit; the error has no recovery
+		defer func() { _ = proxy.Close() }()
 		fmt.Fprintf(os.Stderr, "dist: chaos proxy %s -> %s (%s)\n", proxy.Addr(), addr, cfg.flags.chaos)
 		addr = proxy.Addr()
 	}
@@ -200,7 +200,7 @@ func (s *workerSpawner) spawn(rank int) error {
 	fmt.Printf("dist: spawned rank %d pid=%d\n", rank, cmd.Process.Pid)
 	done := make(chan struct{})
 	go func() {
-		_ = cmd.Wait() //lint:ignore err-checked a killed or crashed worker exits nonzero by design; the coordinator's failure detector is the authority
+		_ = cmd.Wait()
 		close(done)
 	}()
 	s.mu.Lock()
@@ -223,7 +223,7 @@ func (s *workerSpawner) shutdown(grace time.Duration) {
 		select {
 		case <-p.done:
 		case <-deadline:
-			_ = p.cmd.Process.Kill() //lint:ignore err-checked the process may have exited between the poll and the kill
+			_ = p.cmd.Process.Kill()
 			<-p.done
 		}
 	}
@@ -277,7 +277,7 @@ func runDistCoordinator(cfg distRunConfig) error {
 	if err != nil {
 		return err
 	}
-	defer func() { _ = coord.Close() }() //lint:ignore err-checked backstop for the error paths; the explicit Close below reports first
+	defer func() { _ = coord.Close() }()
 	spawner.addr = coord.Addr()
 	fmt.Printf("dist: coordinator listening on %s (%d ranks)\n", coord.Addr(), df.ranks)
 
@@ -300,7 +300,7 @@ func runDistCoordinator(cfg distRunConfig) error {
 	st, runErr := coord.Run(ctx, m)
 	// Close before reaping so worker sessions see the teardown even on the
 	// error path; a clean run already broadcast done.
-	_ = coord.Close() //lint:ignore err-checked double close via defer is a no-op; listener teardown errors have no recovery
+	_ = coord.Close()
 	spawner.shutdown(5 * time.Second)
 	if runErr != nil {
 		return fmt.Errorf("distributed run: %w", runErr)

@@ -308,10 +308,10 @@ func serveObs(addr string, rec *graftmatch.Recorder) (stop func(), err error) {
 		defer close(done)
 		// Serve returns ErrServerClosed-like errors once the listener is
 		// closed by stop(); the surface is best-effort either way.
-		_ = srv.Serve(ln) //lint:ignore err-checked listener closed by stop(); serving is best-effort
+		_ = srv.Serve(ln)
 	}()
 	return func() {
-		_ = srv.Close() //lint:ignore err-checked best-effort shutdown at process exit
+		_ = srv.Close()
 		<-done
 	}, nil
 }

@@ -328,6 +328,7 @@ func finishMatch(ctx context.Context, g *Graph, m *matching.Matching, opts Optio
 		stats, err = pushrelabel.RunCtx(ctx, g, m, pushrelabel.Options{Threads: opts.Threads, OnPhase: opts.OnPhase, Recorder: opts.Recorder})
 	case HopcroftKarp, SSBFS, SSDFS:
 		if err = ctx.Err(); err == nil {
+			//lint:ignore proto-exhaustive the enclosing case arm already narrowed to the three serial algorithms; the outer default rejects unknown values
 			switch opts.Algorithm {
 			case HopcroftKarp:
 				stats = hk.Run(g, m)

@@ -25,12 +25,21 @@ func (d Diagnostic) String() string {
 type Check struct {
 	Name string
 	Doc  string
-	Run  func(prog *Program) []Diagnostic
+	// Level is the severity a finding of this check carries in reporting
+	// backends (SARIF): "error" for correctness invariants, "warning" for
+	// discipline rules, "note" for performance advice.
+	Level string
+	// HelpURI points at the check's documentation; filled in by Checks().
+	HelpURI string
+	Run     func(prog *Program) []Diagnostic
 }
+
+// helpURIBase is the documentation root each check's HelpURI anchors into.
+const helpURIBase = "https://graftmatch.dev/graftlint/checks#"
 
 // Checks returns the full suite in canonical order.
 func Checks() []Check {
-	return []Check{
+	cs := []Check{
 		AtomicAlign(),
 		MixedAccess(),
 		FalseShare(),
@@ -40,7 +49,15 @@ func Checks() []Check {
 		LockDiscipline(),
 		WGBalance(),
 		HotPathAlloc(),
+		ProtoExhaustive(),
+		DeadlineDiscipline(),
+		BoundedDecode(),
+		CtxSelect(),
 	}
+	for i := range cs {
+		cs[i].HelpURI = helpURIBase + cs[i].Name
+	}
+	return cs
 }
 
 // CheckNames returns the names of every check in the suite.

@@ -31,6 +31,10 @@ var fixtureCases = []struct {
 	{"lockdiscipline", []string{"lock-discipline"}, analysis.Config{}},
 	{"wgbalance", []string{"wg-balance"}, analysis.Config{}},
 	{"hotpathalloc", []string{"hotpath-alloc"}, analysis.Config{HotPackages: []string{"pos", "neg"}}},
+	{"protoexhaustive", []string{"proto-exhaustive"}, analysis.Config{}},
+	{"deadlinediscipline", []string{"deadline-discipline"}, analysis.Config{}},
+	{"boundeddecode", []string{"bounded-decode"}, analysis.Config{}},
+	{"ctxselect", []string{"ctx-select"}, analysis.Config{CtxPackages: []string{"pos", "neg"}}},
 	{"suppress", nil, analysis.Config{}},
 }
 
@@ -128,6 +132,7 @@ func TestCheckNames(t *testing.T) {
 	want := []string{
 		"atomic-align", "mixed-access", "falseshare", "ctx-discipline", "err-checked",
 		"goroutine-leak", "lock-discipline", "wg-balance", "hotpath-alloc",
+		"proto-exhaustive", "deadline-discipline", "bounded-decode", "ctx-select",
 	}
 	got := analysis.CheckNames()
 	if len(got) != len(want) {
@@ -137,5 +142,53 @@ func TestCheckNames(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("CheckNames()[%d] = %q, want %q", i, got[i], want[i])
 		}
+	}
+}
+
+// TestSuppressionAudit pins the Directive accounting behind graftlint
+// -suppressions: well-formed directives are recorded with their reasons,
+// hits are charged per check after a run, and a directive that silences
+// nothing is visible as such. Malformed directives (missing reason, unknown
+// check) become lint-directive findings instead and must not be recorded.
+func TestSuppressionAudit(t *testing.T) {
+	prog, err := analysis.LoadTree(filepath.Join("testdata", "src", "suppress"), "fix", analysis.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	dirs := prog.Suppressions()
+	// Trailing, Above, WrongCheck, Multi; the malformed three are findings,
+	// not directives.
+	if len(dirs) != 4 {
+		t.Fatalf("Suppressions() returned %d directives, want 4: %+v", len(dirs), dirs)
+	}
+	type want struct {
+		checks   string
+		silenced int
+	}
+	wants := []want{
+		{"err-checked", 1},            // Trailing
+		{"err-checked", 1},            // Above
+		{"falseshare", 0},             // WrongCheck: names the wrong check, silences nothing
+		{"err-checked,falseshare", 1}, // Multi: only the err-checked half fires
+	}
+	for i, d := range dirs {
+		if got := strings.Join(d.Checks, ","); got != wants[i].checks {
+			t.Errorf("directive %d checks = %s, want %s", i, got, wants[i].checks)
+		}
+		if got := d.Silenced(); got != wants[i].silenced {
+			t.Errorf("directive %d (line %d) silenced %d findings, want %d", i, d.Line, got, wants[i].silenced)
+		}
+		if d.Reason == "" {
+			t.Errorf("directive %d has an empty reason; the parser requires one", i)
+		}
+	}
+	if h := dirs[3].Hits["err-checked"]; h != 1 {
+		t.Errorf("multi-check directive charged %d err-checked hits, want 1", h)
+	}
+	if h := dirs[3].Hits["falseshare"]; h != 0 {
+		t.Errorf("multi-check directive charged %d falseshare hits, want 0", h)
 	}
 }

@@ -16,9 +16,10 @@ import (
 // struct, slice element array, or package-level variable is 64-bit aligned.
 func AtomicAlign() Check {
 	return Check{
-		Name: "atomic-align",
-		Doc:  "64-bit sync/atomic operands must be 8-byte aligned under GOARCH=386 layout",
-		Run:  runAtomicAlign,
+		Name:  "atomic-align",
+		Doc:   "64-bit sync/atomic operands must be 8-byte aligned under GOARCH=386 layout",
+		Level: "error",
+		Run:   runAtomicAlign,
 	}
 }
 

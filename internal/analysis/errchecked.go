@@ -21,9 +21,10 @@ import (
 //     argument.
 func ErrChecked() Check {
 	return Check{
-		Name: "err-checked",
-		Doc:  "internal errors are never silently dropped; panic stays in the containment layer",
-		Run:  runErrChecked,
+		Name:  "err-checked",
+		Doc:   "internal errors are never silently dropped; panic stays in the containment layer",
+		Level: "error",
+		Run:   runErrChecked,
 	}
 }
 

@@ -1,0 +1,280 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Def is one definition site of a local variable: a parameter or named
+// result (defined at function entry), a := or = assignment, a var
+// declaration, a range binding, or an ++/-- update. The value-flow tier
+// reasons about variables through these sites: reaching definitions answer
+// "which assignments can produce the value read here", and the taint
+// analysis piggybacks on the same per-variable universe.
+type Def struct {
+	Var  *types.Var
+	Node ast.Node  // the defining statement; nil for the entry definition
+	Pos  token.Pos // position of the definition (the function body for entry defs)
+}
+
+// Entry reports whether the definition is the synthetic function-entry
+// definition (parameters, named results, captured state).
+func (d Def) Entry() bool { return d.Node == nil }
+
+// DefUse holds the def-use substrate of one function: the definition
+// universe and the converged reaching-definitions solution (may-analysis:
+// a def reaches a point if SOME path from it avoids a redefinition).
+type DefUse struct {
+	Defs []Def
+
+	byVar map[*types.Var][]int // var -> indices into Defs
+	info  *types.Info
+	sol   *Solution
+	g     *Graph
+}
+
+// BuildDefUse computes definition sites and reaching definitions for fn over
+// its CFG. Definitions are collected per variable object, so shadowed names
+// are distinct; assignments through pointers, fields, or indexing do not
+// define a new value of the base variable (the base def stays live, which is
+// the conservative direction for both def-use queries and taint).
+func BuildDefUse(fn *Func, g *Graph) *DefUse {
+	du := &DefUse{byVar: map[*types.Var][]int{}, info: fn.Info, g: g}
+
+	addDef := func(v *types.Var, node ast.Node, pos token.Pos) {
+		if v == nil {
+			return
+		}
+		du.byVar[v] = append(du.byVar[v], len(du.Defs))
+		du.Defs = append(du.Defs, Def{Var: v, Node: node, Pos: pos})
+	}
+
+	// Entry definitions: receiver, parameters, and named results.
+	var entryFields []*ast.Field
+	if fd, ok := fn.Node.(*ast.FuncDecl); ok && fd.Recv != nil {
+		entryFields = append(entryFields, fd.Recv.List...)
+	}
+	if ft := funcType(fn.Node); ft != nil {
+		entryFields = append(entryFields, paramFields(ft)...)
+	}
+	for _, field := range entryFields {
+		for _, name := range field.Names {
+			if v, ok := fn.Info.Defs[name].(*types.Var); ok {
+				addDef(v, nil, fn.Body.Pos())
+			}
+		}
+	}
+
+	// Statement definitions, block by block so the transfer function can
+	// reuse the same classification.
+	for _, b := range g.Blocks {
+		for _, node := range b.Nodes {
+			eachDefinedVar(fn.Info, node, func(v *types.Var) {
+				addDef(v, node, node.Pos())
+			})
+		}
+	}
+
+	transfer := func(b *Block, in BitSet) BitSet {
+		out := in.Copy()
+		for _, node := range b.Nodes {
+			du.apply(node, out)
+		}
+		return out
+	}
+	p := Problem{Bits: len(du.Defs), Entry: du.entryFact(), Transfer: transfer}
+	du.sol = p.Solve(g)
+	return du
+}
+
+// entryFact returns the fact at function entry: every entry definition live.
+func (du *DefUse) entryFact() BitSet {
+	f := NewBitSet(len(du.Defs))
+	for i, d := range du.Defs {
+		if d.Entry() {
+			f.Set(i)
+		}
+	}
+	return f
+}
+
+// apply mutates facts with the gen/kill effect of one CFG node: a
+// definition of v kills every other definition of v and gens itself.
+func (du *DefUse) apply(node ast.Node, facts BitSet) {
+	eachDefinedVar(du.info, node, func(v *types.Var) {
+		for _, i := range du.byVar[v] {
+			if du.Defs[i].Node == node {
+				facts.Set(i)
+			} else {
+				facts.Clear(i)
+			}
+		}
+	})
+}
+
+// In returns the reaching-definitions fact at block entry; nil for
+// unreachable blocks.
+func (du *DefUse) In(b *Block) (BitSet, bool) {
+	f, ok := du.sol.In[b]
+	return f, ok
+}
+
+// ReachingAt returns the definitions of v that reach node, which must be one
+// of the Nodes of block b (facts are threaded through the block's earlier
+// nodes). A nil slice means the block is unreachable or v is untracked.
+func (du *DefUse) ReachingAt(v *types.Var, b *Block, node ast.Node) []Def {
+	in, ok := du.sol.In[b]
+	if !ok {
+		return nil
+	}
+	facts := in.Copy()
+	for _, n := range b.Nodes {
+		if n == node {
+			break
+		}
+		du.apply(n, facts)
+	}
+	var out []Def
+	for _, i := range du.byVar[v] {
+		if facts.Has(i) {
+			out = append(out, du.Defs[i])
+		}
+	}
+	return out
+}
+
+// eachDefinedVar visits the variables (re)defined by one statement node:
+// plain and short assignments to identifiers, var declarations, range
+// bindings, and ++/--. Writes through selectors, stars, or indexes are not
+// definitions of the base (the base still holds the same composite).
+// Definitions inside nested function literals belong to those literals.
+func eachDefinedVar(info *types.Info, node ast.Node, visit func(*types.Var)) {
+	ident := func(e ast.Expr) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			visit(v)
+			return
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			visit(v)
+		}
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				ident(lhs)
+			}
+		case *ast.IncDecStmt:
+			ident(n.X)
+		case *ast.RangeStmt:
+			if n.Key != nil {
+				ident(n.Key)
+			}
+			if n.Value != nil {
+				ident(n.Value)
+			}
+			return false // body statements live in their own blocks
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				ident(name)
+			}
+		}
+		return true
+	})
+}
+
+// funcType extracts the *ast.FuncType of a FuncDecl or FuncLit node.
+func funcType(node ast.Node) *ast.FuncType {
+	switch n := node.(type) {
+	case *ast.FuncDecl:
+		return n.Type
+	case *ast.FuncLit:
+		return n.Type
+	}
+	return nil
+}
+
+// paramFields returns the receiver-less parameter and named-result fields of
+// a function type (the entry-defined variables). The receiver of a method is
+// added by the caller when it has the FuncDecl.
+func paramFields(ft *ast.FuncType) []*ast.Field {
+	var out []*ast.Field
+	if ft.Params != nil {
+		out = append(out, ft.Params.List...)
+	}
+	if ft.Results != nil {
+		out = append(out, ft.Results.List...)
+	}
+	return out
+}
+
+// Dominators computes the dominance relation of g: Dominates(a, b) reports
+// whether every path from Entry to b passes through a. Implemented as the
+// classic iterative bit-vector dataflow (dom(b) = {b} ∪ ⋂ dom(preds)),
+// which is quadratic in the worst case but the CFGs here are per-function
+// and small.
+type Dominators struct {
+	dom map[*Block]BitSet
+	n   int
+}
+
+// BuildDominators solves dominance over the reachable blocks of g.
+func BuildDominators(g *Graph) *Dominators {
+	reach := g.Reachable()
+	n := len(g.Blocks)
+	d := &Dominators{dom: map[*Block]BitSet{}, n: n}
+	for _, b := range reach {
+		s := NewBitSet(n)
+		if b == g.Entry {
+			s.Set(b.Index)
+		} else {
+			s.Fill()
+		}
+		d.dom[b] = s
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range reach {
+			if b == g.Entry {
+				continue
+			}
+			s := NewBitSet(n)
+			s.Fill()
+			any := false
+			for _, p := range b.Preds {
+				ps, ok := d.dom[p]
+				if !ok {
+					continue // unreachable pred
+				}
+				s.IntersectWith(ps)
+				any = true
+			}
+			if !any {
+				s = NewBitSet(n)
+			}
+			s.Set(b.Index)
+			if !s.Equal(d.dom[b]) {
+				d.dom[b] = s
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+// Dominates reports whether a dominates b (reflexively: a dominates a).
+func (d *Dominators) Dominates(a, b *Block) bool {
+	s, ok := d.dom[b]
+	if !ok {
+		return false
+	}
+	return s.Has(a.Index)
+}

@@ -1,0 +1,452 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Taint is a conservative forward taint analysis over the CFG substrate:
+// the lattice is a set of tainted local variables per program point, an
+// expression is tainted when any variable or source call it reads from is,
+// and calls propagate taint through depth-limited summaries of module-local
+// callees resolved via the call graph. The analysis over-approximates inside
+// a function (a field write with a tainted value taints the whole base
+// variable; a tainted operand taints the whole expression) and
+// under-approximates across functions it cannot see into only in one
+// deliberate way: taint never flows INTO a callee through its arguments —
+// callees are summarized from their own bodies instead, and a call's results
+// become tainted when the summary (or, for unresolved callees, the
+// conservative any-argument rule) says so.
+type Taint struct {
+	cg *CallGraph
+
+	// Source classifies a call as introducing wire taint: its results and
+	// slice-typed arguments (fill-style APIs like io.ReadFull) become
+	// tainted.
+	Source func(info *types.Info, call *ast.CallExpr) bool
+
+	// SourceParam classifies entry variables (parameters, receivers) that
+	// carry tainted data when the function is entered, e.g. the raw []byte
+	// of a decode function.
+	SourceParam func(fn *Func, v *types.Var) bool
+
+	// Depth bounds interprocedural summary recursion through the call
+	// graph; 0 disables summaries entirely (unresolved-call rule only).
+	Depth int
+
+	summaries  map[*types.Func]*taintSummary
+	inProgress map[*types.Func]bool
+}
+
+// taintSummary is the interprocedural abstraction of one module function:
+// which results are tainted inherently (the body reads a source), and which
+// are tainted whenever any argument or the receiver is.
+type taintSummary struct {
+	inherent  bool // some result carries source taint regardless of inputs
+	fromParam bool // some result carries taint flowing from a parameter
+}
+
+// NewTaint builds a taint analysis over cg.
+func NewTaint(cg *CallGraph) *Taint {
+	return &Taint{
+		cg:         cg,
+		Depth:      3,
+		summaries:  map[*types.Func]*taintSummary{},
+		inProgress: map[*types.Func]bool{},
+	}
+}
+
+// TaintResult holds the converged per-block taint facts for one function.
+type TaintResult struct {
+	Fn *Func
+
+	t    *Taint
+	vars []*types.Var
+	idx  map[*types.Var]int
+	sol  *Solution
+	du   *DefUse
+}
+
+// Analyze solves the taint problem for fn over g (the function's CFG). The
+// variable universe comes from the def-use substrate, so the two layers
+// agree on what a "variable" is.
+func (t *Taint) Analyze(fn *Func, g *Graph, du *DefUse) *TaintResult {
+	r := &TaintResult{Fn: fn, t: t, idx: map[*types.Var]int{}, du: du}
+	for _, d := range du.Defs {
+		if _, ok := r.idx[d.Var]; !ok {
+			r.idx[d.Var] = len(r.vars)
+			r.vars = append(r.vars, d.Var)
+		}
+	}
+	entry := NewBitSet(len(r.vars))
+	if t.SourceParam != nil {
+		for _, d := range du.Defs {
+			if d.Entry() && t.SourceParam(fn, d.Var) {
+				entry.Set(r.idx[d.Var])
+			}
+		}
+	}
+	p := Problem{
+		Bits:  len(r.vars),
+		Entry: entry,
+		Transfer: func(b *Block, in BitSet) BitSet {
+			out := in.Copy()
+			for _, node := range b.Nodes {
+				r.Apply(node, out)
+			}
+			return out
+		},
+	}
+	r.sol = p.Solve(g)
+	return r
+}
+
+// In returns the taint fact at block entry; ok is false for unreachable
+// blocks.
+func (r *TaintResult) In(b *Block) (BitSet, bool) {
+	f, ok := r.sol.In[b]
+	return f, ok
+}
+
+// NewFacts returns an empty fact set of the result's universe, for threading
+// through a block by hand.
+func (r *TaintResult) NewFacts() BitSet { return NewBitSet(len(r.vars)) }
+
+// VarTainted reports whether v is tainted under facts.
+func (r *TaintResult) VarTainted(v *types.Var, facts BitSet) bool {
+	i, ok := r.idx[v]
+	return ok && facts.Has(i)
+}
+
+// Apply mutates facts with the taint effect of one CFG node: assignments
+// taint (or, for a plain identifier target with a clean source, untaint)
+// their targets; writes through fields, stars, or indexes weakly taint the
+// base variable.
+func (r *TaintResult) Apply(node ast.Node, facts BitSet) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			r.applyAssign(n.Lhs, n.Rhs, facts)
+		case *ast.ValueSpec:
+			if len(n.Values) > 0 {
+				lhs := make([]ast.Expr, len(n.Names))
+				for i, name := range n.Names {
+					lhs[i] = name
+				}
+				r.applyAssign(lhs, n.Values, facts)
+			}
+		case *ast.RangeStmt:
+			tainted := r.ExprTainted(n.X, facts)
+			for _, e := range [2]ast.Expr{n.Key, n.Value} {
+				if e != nil {
+					r.setVar(e, tainted, true, facts)
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			// A source call fills its slice-typed arguments (io.ReadFull
+			// style) — a weak update, since only part may be overwritten.
+			if r.t.Source != nil && r.t.Source(r.Fn.Info, n) {
+				for _, a := range n.Args {
+					if tv, ok := r.Fn.Info.Types[a]; ok && tv.Type != nil {
+						if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice {
+							r.setVar(a, true, true, facts)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// applyAssign transfers one (possibly tuple) assignment.
+func (r *TaintResult) applyAssign(lhs, rhs []ast.Expr, facts BitSet) {
+	if len(rhs) == 1 && len(lhs) > 1 {
+		// Tuple form: a, b := f(). Taint every target when the call taints
+		// any result (the summary is not per-result).
+		tainted := r.ExprTainted(rhs[0], facts)
+		for _, l := range lhs {
+			r.setVar(l, tainted, false, facts)
+		}
+		return
+	}
+	for i, l := range lhs {
+		if i < len(rhs) {
+			r.setVar(l, r.ExprTainted(rhs[i], facts), false, facts)
+		}
+	}
+}
+
+// setVar updates the taint bit of an assignment target. A plain identifier
+// is a strong update (a clean value untaints); a field/index/deref write is
+// a weak update of the base variable (the rest of the composite may still
+// be tainted). weakOnly forces weak semantics (range bindings repeat).
+func (r *TaintResult) setVar(target ast.Expr, tainted, weakOnly bool, facts BitSet) {
+	e := ast.Unparen(target)
+	strong := true
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e, strong = x.X, false
+			continue
+		case *ast.IndexExpr:
+			e, strong = x.X, false
+			continue
+		case *ast.StarExpr:
+			e, strong = x.X, false
+			continue
+		}
+		break
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	v := objVar(r.Fn.Info, id)
+	if v == nil {
+		return
+	}
+	i, ok := r.idx[v]
+	if !ok {
+		return
+	}
+	if tainted {
+		facts.Set(i)
+	} else if strong && !weakOnly {
+		facts.Clear(i)
+	}
+}
+
+// ExprTainted evaluates whether e reads tainted data under facts.
+func (r *TaintResult) ExprTainted(e ast.Expr, facts BitSet) bool {
+	switch e := ast.Unparen(e).(type) {
+	case nil:
+		return false
+	case *ast.Ident:
+		if v := objVar(r.Fn.Info, e); v != nil {
+			return r.VarTainted(v, facts)
+		}
+		return false
+	case *ast.SelectorExpr:
+		// A field or method read off a tainted base is tainted; a package
+		// selection (pkg.Name) never is.
+		if sel, ok := r.Fn.Info.Selections[e]; ok && sel != nil {
+			return r.ExprTainted(e.X, facts)
+		}
+		return false
+	case *ast.IndexExpr:
+		return r.ExprTainted(e.X, facts)
+	case *ast.SliceExpr:
+		return r.ExprTainted(e.X, facts)
+	case *ast.StarExpr:
+		return r.ExprTainted(e.X, facts)
+	case *ast.UnaryExpr:
+		return r.ExprTainted(e.X, facts)
+	case *ast.BinaryExpr:
+		return r.ExprTainted(e.X, facts) || r.ExprTainted(e.Y, facts)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if r.ExprTainted(el, facts) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		return r.callTainted(e, facts)
+	case *ast.TypeAssertExpr:
+		return r.ExprTainted(e.X, facts)
+	}
+	return false
+}
+
+// callTainted evaluates a call's result taint: declared sources are always
+// tainted; a type conversion or builtin passes its arguments' taint; a
+// module-local callee answers through its summary; an unresolved callee
+// (function value, interface method, out-of-module body) conservatively
+// propagates taint from any argument or the receiver.
+func (r *TaintResult) callTainted(call *ast.CallExpr, facts BitSet) bool {
+	info := r.Fn.Info
+	if r.t.Source != nil && r.t.Source(info, call) {
+		return true
+	}
+	anyInput := func() bool {
+		for _, a := range call.Args {
+			if r.ExprTainted(a, facts) {
+				return true
+			}
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if s, ok := info.Selections[sel]; ok && s != nil {
+				return r.ExprTainted(sel.X, facts)
+			}
+		}
+		return false
+	}
+	// Conversions and builtins (len, cap, min, max, append, copy...) carry
+	// their operands' taint.
+	if tv, ok := info.Types[call.Fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+		return anyInput()
+	}
+	obj := CalleeObj(info, call)
+	if obj != nil {
+		if sum := r.t.summary(obj, r.t.Depth); sum != nil {
+			if sum.inherent {
+				return true
+			}
+			if sum.fromParam {
+				return anyInput()
+			}
+			return false
+		}
+	}
+	return anyInput()
+}
+
+// summary computes (memoized, depth-limited) the taint summary of a
+// module-local function. A nil return means "no summary": the callee is out
+// of module, bodyless, or past the depth budget, and the caller falls back
+// to the conservative any-argument rule.
+func (t *Taint) summary(obj *types.Func, depth int) *taintSummary {
+	if depth <= 0 {
+		return nil
+	}
+	if s, ok := t.summaries[obj]; ok {
+		return s
+	}
+	// Cycle guard: a recursive call back into a function that is still being
+	// summarized gets no summary, so the caller falls back to the
+	// any-argument rule. That over-taints within the cycle (the conservative
+	// direction) but never caches an optimistic bottom as a member's final
+	// summary — the memo is only written once the computation finishes.
+	if t.inProgress[obj] {
+		return nil
+	}
+	fn := t.cg.ByObj(obj)
+	if fn == nil {
+		return nil
+	}
+	t.inProgress[obj] = true
+	defer delete(t.inProgress, obj)
+
+	// Solve the callee intraprocedurally with every parameter treated as a
+	// probe: one pass with params clean (detects inherent sources in
+	// returned values) and one with params tainted (detects flow-through).
+	sum := &taintSummary{}
+	sub := &Taint{
+		cg:         t.cg,
+		Source:     t.Source,
+		Depth:      depth - 1,
+		summaries:  t.summaries,
+		inProgress: t.inProgress,
+	}
+	g := fn.CFG(t.cg)
+	du := BuildDefUse(fn, g)
+
+	run := func(paramsTainted bool) bool {
+		sub.SourceParam = nil
+		if paramsTainted {
+			sub.SourceParam = func(*Func, *types.Var) bool { return true }
+		}
+		res := sub.Analyze(fn, g, du)
+		tainted := false
+		for _, b := range g.Reachable() {
+			in, ok := res.In(b)
+			if !ok {
+				continue
+			}
+			facts := in.Copy()
+			for _, node := range b.Nodes {
+				if ret, ok := node.(*ast.ReturnStmt); ok {
+					for _, v := range ret.Results {
+						if res.ExprTainted(v, facts) {
+							tainted = true
+						}
+					}
+				}
+				res.Apply(node, facts)
+			}
+		}
+		if !tainted && paramsTainted {
+			// Named results assigned before a bare return.
+			tainted = namedResultTainted(fn, g, sub, du)
+		}
+		return tainted
+	}
+	sum.inherent = run(false)
+	sum.fromParam = run(true)
+	t.summaries[obj] = sum
+	return sum
+}
+
+// namedResultTainted reports whether any named result variable is tainted at
+// some function exit (covers bare returns, which list no expressions).
+func namedResultTainted(fn *Func, g *Graph, t *Taint, du *DefUse) bool {
+	ft := funcType(fn.Node)
+	if ft == nil || ft.Results == nil {
+		return false
+	}
+	var results []*types.Var
+	for _, f := range ft.Results.List {
+		for _, name := range f.Names {
+			if v, ok := fn.Info.Defs[name].(*types.Var); ok {
+				results = append(results, v)
+			}
+		}
+	}
+	if len(results) == 0 {
+		return false
+	}
+	res := t.Analyze(fn, g, du)
+	for _, b := range g.Reachable() {
+		exits := false
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				exits = true
+			}
+		}
+		if !exits {
+			continue
+		}
+		in, ok := res.In(b)
+		if !ok {
+			continue
+		}
+		facts := in.Copy()
+		for _, node := range b.Nodes {
+			res.Apply(node, facts)
+		}
+		for _, v := range results {
+			if res.VarTainted(v, facts) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// objVar resolves an identifier to the variable object it names, defined or
+// used.
+func objVar(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// exprPos is a tiny convenience for diagnostics on possibly-nil expressions.
+func exprPos(e ast.Expr, fallback token.Pos) token.Pos {
+	if e == nil {
+		return fallback
+	}
+	return e.Pos()
+}

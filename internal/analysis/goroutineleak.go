@@ -27,9 +27,10 @@ import (
 // do not count: "has a path that observes" is the contract.
 func GoroutineLeak() Check {
 	return Check{
-		Name: "goroutine-leak",
-		Doc:  "every spawned goroutine signals a join point or observes cancellation",
-		Run:  runGoroutineLeak,
+		Name:  "goroutine-leak",
+		Doc:   "every spawned goroutine signals a join point or observes cancellation",
+		Level: "warning",
+		Run:   runGoroutineLeak,
 	}
 }
 

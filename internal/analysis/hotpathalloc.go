@@ -29,9 +29,10 @@ import (
 // call (panic, log.Fatal) are not flagged.
 func HotPathAlloc() Check {
 	return Check{
-		Name: "hotpath-alloc",
-		Doc:  "no per-iteration heap allocation inside parallel bodies and hot-package loops",
-		Run:  runHotPathAlloc,
+		Name:  "hotpath-alloc",
+		Doc:   "no per-iteration heap allocation inside parallel bodies and hot-package loops",
+		Level: "note",
+		Run:   runHotPathAlloc,
 	}
 }
 

@@ -24,9 +24,10 @@ import (
 //     boundary in this codebase.
 func MixedAccess() Check {
 	return Check{
-		Name: "mixed-access",
-		Doc:  "words accessed via sync/atomic must not also be accessed plainly where it can race",
-		Run:  runMixedAccess,
+		Name:  "mixed-access",
+		Doc:   "words accessed via sync/atomic must not also be accessed plainly where it can race",
+		Level: "error",
+		Run:   runMixedAccess,
 	}
 }
 

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"sort"
 	"strings"
 )
 
@@ -16,16 +17,39 @@ import (
 // (reported under the pseudo-check "lint-directive").
 const ignorePrefix = "//lint:ignore"
 
+// Directive is one parsed //lint:ignore with its audit state: where it sits,
+// what it names, why, and how many findings it has silenced in the runs
+// performed so far. A directive whose Hits stay empty after a full run is
+// suppression debt — the code it justified has moved on.
+type Directive struct {
+	File   string
+	Line   int
+	Checks []string
+	Reason string
+	Hits   map[string]int // check name -> findings silenced
+}
+
+// Silenced sums Hits across checks.
+func (d *Directive) Silenced() int {
+	n := 0
+	for _, h := range d.Hits {
+		n += h
+	}
+	return n
+}
+
 // suppressions indexes parsed //lint:ignore directives by file and line.
 type suppressions struct {
-	// byLine maps filename -> line -> set of suppressed check names.
-	byLine    map[string]map[int]map[string]bool
-	malformed []Diagnostic
+	// byLine maps filename -> line -> check name -> the directives that
+	// silence it there, so a hit can be charged back to its directive.
+	byLine     map[string]map[int]map[string][]*Directive
+	directives []*Directive
+	malformed  []Diagnostic
 }
 
 // parseSuppressions scans every comment of every file in the program.
 func parseSuppressions(prog *Program) *suppressions {
-	s := &suppressions{byLine: map[string]map[int]map[string]bool{}}
+	s := &suppressions{byLine: map[string]map[int]map[string][]*Directive{}}
 	known := map[string]bool{}
 	for _, name := range CheckNames() {
 		known[name] = true
@@ -67,9 +91,17 @@ func (s *suppressions) parseComment(prog *Program, known map[string]bool, c *ast
 		}
 	}
 	pos := prog.Fset.Position(c.Pos())
+	d := &Directive{
+		File:   pos.Filename,
+		Line:   pos.Line,
+		Checks: checks,
+		Reason: strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), fields[0])),
+		Hits:   map[string]int{},
+	}
+	s.directives = append(s.directives, d)
 	lines := s.byLine[pos.Filename]
 	if lines == nil {
-		lines = map[int]map[string]bool{}
+		lines = map[int]map[string][]*Directive{}
 		s.byLine[pos.Filename] = lines
 	}
 	// A directive covers its own line (trailing-comment form) and the next
@@ -78,20 +110,43 @@ func (s *suppressions) parseComment(prog *Program, known map[string]bool, c *ast
 	for _, ln := range []int{pos.Line, pos.Line + 1} {
 		set := lines[ln]
 		if set == nil {
-			set = map[string]bool{}
+			set = map[string][]*Directive{}
 			lines[ln] = set
 		}
 		for _, name := range checks {
-			set[name] = true
+			set[name] = append(set[name], d)
 		}
 	}
 }
 
-// suppressed reports whether d is silenced by a directive.
+// suppressed reports whether d is silenced by a directive, charging the hit
+// back to every directive that covers it.
 func (s *suppressions) suppressed(d Diagnostic) bool {
 	lines := s.byLine[d.Pos.Filename]
 	if lines == nil {
 		return false
 	}
-	return lines[d.Pos.Line][d.Check]
+	ds := lines[d.Pos.Line][d.Check]
+	for _, dir := range ds {
+		dir.Hits[d.Check]++
+	}
+	return len(ds) > 0
+}
+
+// Suppressions returns the program's parsed //lint:ignore directives sorted
+// by file and line, with the hit counts accumulated by the Run calls made so
+// far. Audit debt by calling it after a full (unfiltered) Run: a directive
+// with no hits silenced nothing.
+func (prog *Program) Suppressions() []Directive {
+	out := make([]Directive, 0, len(prog.supp.directives))
+	for _, d := range prog.supp.directives {
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
 }

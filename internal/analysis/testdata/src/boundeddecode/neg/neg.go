@@ -1,0 +1,57 @@
+// Package neg holds bounded-decode negative cases: latched bounds, append
+// growth, len-sized copies, and sizes that never touched the wire.
+package neg
+
+// Limits is the decode bound configuration.
+type Limits struct{ MaxVerts int }
+
+func u32(b []byte, off int) uint32 {
+	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+}
+
+// decodeBounded is clean: the comparison against the Limits-derived bound
+// dominates the allocation.
+func decodeBounded(body []byte, lim Limits) []int32 {
+	n := int(u32(body, 0))
+	if n > lim.MaxVerts {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(u32(body, 4+4*i))
+	}
+	return out
+}
+
+// decodeLatched is clean: equality against the expected count is exactly the
+// latch a framed decoder uses.
+func decodeLatched(body []byte, k int) []uint32 {
+	n := int(u32(body, 0))
+	if n != k {
+		return nil
+	}
+	return make([]uint32, n)
+}
+
+// decodeAppend is clean: append growth is bounded by the bytes already
+// admitted through the framed reader, so no up-front reservation exists.
+func decodeAppend(body []byte) []int32 {
+	var out []int32
+	for off := 0; off+4 <= len(body); off += 4 {
+		out = append(out, int32(u32(body, off)))
+	}
+	return out
+}
+
+// decodeOwnedCopy is clean: len of held data bounds the allocation by
+// memory the process already admitted.
+func decodeOwnedCopy(body []byte) []byte {
+	buf := make([]byte, len(body))
+	copy(buf, body)
+	return buf
+}
+
+// Fresh is clean: the size never touched the wire.
+func Fresh(n int) []int32 {
+	return make([]int32, n)
+}

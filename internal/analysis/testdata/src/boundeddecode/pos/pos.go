@@ -1,0 +1,46 @@
+// Package pos holds bounded-decode positive cases: allocations sized by a
+// count that came off the wire with no bound comparison dominating them.
+package pos
+
+// Limits is the decode bound configuration a real decoder latches against.
+type Limits struct{ MaxVerts int }
+
+func u32(b []byte, off int) uint32 {
+	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+}
+
+// decodeUnbounded must be diagnosed: n is read straight off the wire and
+// sizes the allocation with no comparison anywhere.
+func decodeUnbounded(body []byte) []int32 {
+	n := int(u32(body, 0))
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(u32(body, 4+4*i))
+	}
+	return out
+}
+
+// decodeGuardWrongArm must be diagnosed: the bound comparison sits on one
+// branch only, so a path without it still reaches the allocation.
+func decodeGuardWrongArm(body []byte, lim Limits) [][]byte {
+	n := int(u32(body, 0))
+	if lim.MaxVerts > 0 {
+		if n > lim.MaxVerts {
+			return nil
+		}
+	}
+	return make([][]byte, n)
+}
+
+type sess struct{ data []byte }
+
+func (s *sess) Recv() []byte { return s.data }
+
+// AllocFromRecv must be diagnosed: the element count parsed out of a
+// received frame sizes the allocation unguarded — taint flows through the
+// module-local Recv and u32 summaries.
+func AllocFromRecv(s *sess) []uint32 {
+	frame := s.Recv()
+	n := int(u32(frame, 0))
+	return make([]uint32, n)
+}

@@ -1,0 +1,56 @@
+// Package neg holds ctx-select negative cases: selects that observe a done
+// channel, direct done-channel waits, non-blocking defaults, and goroutines
+// with no channel traffic at all.
+package neg
+
+import "context"
+
+// PumpSelect is clean: every channel op sits in a select with a ctx.Done
+// case.
+func PumpSelect(ctx context.Context, work, out chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-work:
+				select {
+				case out <- v:
+				case <-ctx.Done():
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// WaitClose is clean: receiving from a struct{} channel IS waiting for
+// cancellation, whatever the channel is called.
+func WaitClose(closeCh chan struct{}, n *int) {
+	go func() {
+		<-closeCh
+		*n = 0
+	}()
+}
+
+// NonBlocking is clean: the default arm makes the select unable to park.
+func NonBlocking(events chan int) {
+	go func() {
+		select {
+		case events <- 1:
+		default:
+		}
+	}()
+}
+
+// PureCompute is clean: no channel operations in the goroutine at all.
+func PureCompute(xs []int, done chan struct{}) {
+	go func() {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		_ = s
+		close(done)
+	}()
+}

@@ -1,0 +1,52 @@
+// Package pos holds ctx-select positive cases: goroutines in an engine
+// package whose channel operations cannot observe cancellation. The test
+// harness lists this package in CtxPackages.
+package pos
+
+import "context"
+
+// Pump must be diagnosed twice: the goroutine's receive and send both block
+// with no way to see ctx fall.
+func Pump(ctx context.Context, work, out chan int) {
+	go func() {
+		v := <-work
+		out <- v
+	}()
+	_ = ctx
+}
+
+// Shuffle must be diagnosed: the select blocks on two data channels and has
+// neither a default nor a done-channel case.
+func Shuffle(ctx context.Context, a, b chan int) {
+	go func() {
+		select {
+		case v := <-a:
+			_ = v
+		case w := <-b:
+			_ = w
+		}
+	}()
+	_ = ctx
+}
+
+// Drain must be diagnosed: ranging over events parks forever once the
+// producer stops without closing the channel.
+func Drain(ctx context.Context, events chan string) {
+	go func() {
+		for e := range events {
+			_ = e
+		}
+	}()
+	_ = ctx
+}
+
+func relay(in, out chan int) {
+	out <- 1
+	<-in
+}
+
+// SpawnNamed must be diagnosed inside relay: a handler dispatched by name is
+// held to the same rule as an inline literal.
+func SpawnNamed(in, out chan int) {
+	go relay(in, out)
+}

@@ -1,0 +1,57 @@
+// Package neg holds deadline-discipline negative cases: the per-frame
+// arm-only pattern, disarm-only stage transitions, deferred disarms, and
+// lifecycles that are disarmed on every path.
+package neg
+
+import (
+	"net"
+	"time"
+)
+
+// SendFrame is clean: arm-only is the per-frame I/O pattern — every send
+// re-arms its own deadline and a later stage transition disarms.
+func SendFrame(c net.Conn, b []byte) error {
+	_ = c.SetWriteDeadline(time.Now().Add(time.Second))
+	_, err := c.Write(b)
+	return err
+}
+
+// Detach is clean: disarm-only is the stage-transition helper.
+func Detach(c net.Conn) {
+	_ = c.SetReadDeadline(time.Time{})
+	_ = c.SetWriteDeadline(time.Time{})
+}
+
+// Deferred is clean: the deferred disarm covers every exit, error paths
+// included.
+func Deferred(c net.Conn, buf []byte) error {
+	_ = c.SetReadDeadline(time.Now().Add(time.Second))
+	defer c.SetReadDeadline(time.Time{})
+	if _, err := c.Read(buf); err != nil {
+		return err
+	}
+	return nil
+}
+
+// AllPaths is clean: both exits disarm before returning.
+func AllPaths(c net.Conn, buf []byte) error {
+	_ = c.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := c.Read(buf); err != nil {
+		_ = c.SetReadDeadline(time.Time{})
+		return err
+	}
+	_ = c.SetReadDeadline(time.Time{})
+	return nil
+}
+
+// CloseOnError is clean: the error path closes the conn instead of
+// disarming, which retires the deadline with the socket.
+func CloseOnError(c net.Conn, buf []byte) error {
+	_ = c.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := c.Read(buf); err != nil {
+		_ = c.Close()
+		return err
+	}
+	_ = c.SetReadDeadline(time.Time{})
+	return nil
+}

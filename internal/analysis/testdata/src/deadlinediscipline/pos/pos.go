@@ -1,0 +1,48 @@
+// Package pos holds deadline-discipline positive cases: functions that
+// manage a deadline's full lifecycle (arm and disarm) but leave it armed on
+// some exit path, usually the error one.
+package pos
+
+import (
+	"net"
+	"time"
+)
+
+// Handshake must be diagnosed: the read deadline armed for the hello frame
+// is disarmed only on the success path; the early error return leaves it
+// ticking into the session.
+func Handshake(c net.Conn, buf []byte) error {
+	_ = c.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := c.Read(buf); err != nil {
+		return err
+	}
+	_ = c.SetReadDeadline(time.Time{})
+	return nil
+}
+
+// SplitExit must be diagnosed once: one error path closes the conn (a closed
+// socket's deadlines are moot) but the other returns with the write deadline
+// still armed.
+func SplitExit(c net.Conn, b []byte) error {
+	_ = c.SetWriteDeadline(time.Now().Add(time.Second))
+	if _, err := c.Write(b); err != nil {
+		if len(b) > 0 {
+			_ = c.Close()
+			return err
+		}
+		return err
+	}
+	_ = c.SetWriteDeadline(time.Time{})
+	return nil
+}
+
+// BothSides must be diagnosed for each side: SetDeadline arms read and write
+// together and the error exit disarms neither.
+func BothSides(c net.Conn, b []byte) error {
+	_ = c.SetDeadline(time.Now().Add(time.Second))
+	if _, err := c.Write(b); err != nil {
+		return err
+	}
+	_ = c.SetDeadline(time.Time{})
+	return nil
+}

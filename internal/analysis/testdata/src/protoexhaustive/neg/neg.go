@@ -1,0 +1,72 @@
+// Package neg holds proto-exhaustive negative cases: full coverage, failing
+// defaults, and switches outside the check's scope.
+package neg
+
+import "errors"
+
+type op byte
+
+const (
+	opHello op = iota + 1
+	opData
+	opAck
+)
+
+// Not an iota block: plain-valued constants are outside the check's scope
+// even when switched over partially.
+const (
+	legacyA byte = 1
+	legacyB byte = 2
+)
+
+// Full is clean: every op of the block is covered.
+func Full(o op) int {
+	switch o {
+	case opHello:
+		return 1
+	case opData:
+		return 2
+	case opAck:
+		return 3
+	}
+	return 0
+}
+
+// FailingDefault is clean: unknown ops cannot pass the switch silently.
+func FailingDefault(o op) (int, error) {
+	switch o {
+	case opHello:
+		return 1, nil
+	default:
+		return 0, errors.New("unknown op")
+	}
+}
+
+// PanickingDefault is clean: the default cannot fall through.
+func PanickingDefault(o op) int {
+	switch o {
+	case opHello:
+		return 1
+	default:
+		panic("unknown op")
+	}
+}
+
+// LegacyConstants is clean: the discriminator's constants are not an iota
+// block, so this is not an op-set dispatch.
+func LegacyConstants(b byte) int {
+	switch b {
+	case legacyA:
+		return 1
+	}
+	return 0
+}
+
+// NonConstant is clean: a case guarded by a variable is not an op dispatch.
+func NonConstant(o op, cutoff op) int {
+	switch o {
+	case cutoff:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,50 @@
+// Package pos holds proto-exhaustive positive cases: partial switches over
+// an iota-block op set with no default, or with a default that can fall
+// through into post-switch code.
+package pos
+
+type op byte
+
+const (
+	opHello op = iota + 1
+	opData
+	opAck
+	opClose
+)
+
+// PartialNoDefault must be diagnosed: two of four ops covered and nothing
+// catches the rest.
+func PartialNoDefault(o op) int {
+	switch o {
+	case opHello:
+		return 1
+	case opData:
+		return 2
+	}
+	return 0
+}
+
+var dropped int
+
+// SilentDefault must be diagnosed: the default counts the frame and falls
+// through, so an unknown op passes silently.
+func SilentDefault(o op) {
+	switch o {
+	case opHello:
+	case opData:
+	case opAck:
+	default:
+		dropped++
+	}
+}
+
+// BreakingDefault must be diagnosed: break leaves the switch into the very
+// fall-through path the check exists to close.
+func BreakingDefault(o op) {
+	switch o {
+	case opHello:
+	default:
+		break
+	}
+	dropped++
+}

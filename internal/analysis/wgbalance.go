@@ -24,9 +24,10 @@ import (
 // lock-discipline.
 func WGBalance() Check {
 	return Check{
-		Name: "wg-balance",
-		Doc:  "WaitGroup Add/Done counts match and Add never races Wait",
-		Run:  runWGBalance,
+		Name:  "wg-balance",
+		Doc:   "WaitGroup Add/Done counts match and Add never races Wait",
+		Level: "error",
+		Run:   runWGBalance,
 	}
 }
 

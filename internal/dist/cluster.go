@@ -232,7 +232,7 @@ func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 func (c *Coordinator) Close() error {
 	c.closeOnce.Do(func() {
 		c.lifeCancel()
-		_ = c.ln.Close() //lint:ignore err-checked teardown; acceptLoop observes the close and exits
+		_ = c.ln.Close()
 		for _, s := range c.slots {
 			s.mu.Lock()
 			sess := s.sess
@@ -240,7 +240,7 @@ func (c *Coordinator) Close() error {
 			s.alive = false
 			s.mu.Unlock()
 			if sess != nil {
-				_ = sess.Close() //lint:ignore err-checked teardown; pumps observe the close and exit
+				_ = sess.Close()
 			}
 		}
 	})
@@ -272,8 +272,8 @@ func (c *Coordinator) handshake(raw gonet.Conn) {
 		WriteTimeout: c.opts.HandshakeTimeout,
 	})
 	refuse := func(reason string) {
-		_ = conn.Send(fAbort, encodeAbort(reason)) //lint:ignore err-checked best-effort refusal; the conn is closing either way
-		_ = conn.Close()                           //lint:ignore err-checked refused handshake teardown
+		_ = conn.Send(fAbort, encodeAbort(reason))
+		_ = conn.Close()
 	}
 	typ, payload, err := conn.Recv()
 	if err != nil || typ != fHello {
@@ -323,7 +323,7 @@ func (c *Coordinator) handshake(raw gonet.Conn) {
 	// handshake write deadline, never indefinite.
 	if err := conn.Send(fWelcome, welcome); err != nil { //lint:ignore lock-discipline bounded by HandshakeTimeout; slot state must not change until the Welcome is on the wire
 		s.mu.Unlock()
-		_ = conn.Close() //lint:ignore err-checked failed welcome; the worker re-dials
+		_ = conn.Close()
 		return
 	}
 	conn.SetTimeouts(0, c.opts.HandshakeTimeout) //lint:ignore lock-discipline disarms socket deadlines; setter calls, no blocking I/O
@@ -427,7 +427,14 @@ func (c *Coordinator) pump(s *slot, sess *distnet.Session) {
 			s.failed.Store(true)
 			return
 		default:
-			// Unknown traffic is ignored; the protocol may grow.
+			// A frame the coordinator never expects mid-run — a Hello after
+			// the handshake, an echoed coordinator-bound frame, a type this
+			// version never negotiated — is a protocol violation, not future
+			// growth: versions are pinned in the handshake, so a same-epoch
+			// peer can never legitimately send an unknown type. Fail the
+			// rank rather than let misrouted traffic vanish.
+			s.failed.Store(true)
+			return
 		}
 	}
 }
@@ -491,7 +498,7 @@ func (c *Coordinator) round(ctx context.Context, op byte, scatterM *matching.Mat
 	c.mMessages.Add(0, int64(len(c.renewNew)*(c.part.K-1)))
 	c.renewNew = c.renewNew[:0]
 
-	results := make([]stepDoneFrame, c.part.K) //lint:ignore hotpath-alloc one gather buffer per superstep round; dwarfed by the network exchange it collects
+	results := make([]stepDoneFrame, c.part.K)
 	for rank := range c.slots {
 		f, err := c.gather(ctx, rank, epoch, c.ssid)
 		if err != nil {
@@ -690,7 +697,7 @@ func (c *Coordinator) recoverRank(ctx context.Context, rank int) error {
 	if sess != nil {
 		s.closedRetrans += sess.Stats().Retransmits
 		s.closedAttach += sess.Stats().Attaches
-		_ = sess.Close() //lint:ignore err-checked burying a dead incarnation's session
+		_ = sess.Close()
 	}
 	c.mon.Forget(rank)
 	c.drainFrames(s)
@@ -926,7 +933,7 @@ func (c *Coordinator) broadcastDone() {
 		sess := s.sess
 		s.mu.Unlock()
 		if sess != nil {
-			_ = sess.Send(fDone, nil) //lint:ignore err-checked best-effort completion notice; a worker that misses it exits on lease expiry
+			_ = sess.Send(fDone, nil)
 		}
 	}
 	deadline := time.Now().Add(2 * time.Second)

@@ -108,7 +108,7 @@ func (p *Proxy) Close() error {
 	conns := append([]gonet.Conn(nil), p.conns...)
 	p.mu.Unlock()
 	for _, c := range conns {
-		_ = c.Close() //lint:ignore err-checked teardown of injected-fault plumbing; the test owns the real links
+		_ = c.Close()
 	}
 	p.wg.Wait()
 	return err
@@ -123,7 +123,7 @@ func (p *Proxy) acceptLoop() {
 		}
 		out, err := gonet.Dial(Network(p.target), p.target)
 		if err != nil {
-			_ = in.Close() //lint:ignore err-checked the upstream dial failed; dropping the downstream conn is the proxy's only move
+			_ = in.Close()
 			continue
 		}
 		p.track(in, out)
@@ -160,8 +160,8 @@ func (p *Proxy) jitter() time.Duration {
 func (p *Proxy) pipe(src, dst gonet.Conn) {
 	defer p.wg.Done()
 	defer func() {
-		_ = src.Close() //lint:ignore err-checked pipe teardown; the peer observes the close as EOF
-		_ = dst.Close() //lint:ignore err-checked pipe teardown; the peer observes the close as EOF
+		_ = src.Close()
+		_ = dst.Close()
 	}()
 	var buf []byte
 	var wbuf []byte

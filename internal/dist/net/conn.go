@@ -109,10 +109,10 @@ func (c *Conn) SetTimeouts(read, write time.Duration) {
 	// left on the socket — Send/Recv only arm deadlines when a timeout is
 	// configured, so a stale one would fire mid-session otherwise.
 	if read <= 0 && c.cfg.ReadTimeout > 0 {
-		_ = c.c.SetReadDeadline(time.Time{}) //lint:ignore err-checked disarming a deadline on a conn that may already be dead; the next Recv reports that
+		_ = c.c.SetReadDeadline(time.Time{})
 	}
 	if write <= 0 && c.cfg.WriteTimeout > 0 {
-		_ = c.c.SetWriteDeadline(time.Time{}) //lint:ignore err-checked disarming a deadline on a conn that may already be dead; the next Send reports that
+		_ = c.c.SetWriteDeadline(time.Time{})
 	}
 	c.cfg.ReadTimeout = read
 	c.cfg.WriteTimeout = write

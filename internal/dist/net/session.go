@@ -122,7 +122,7 @@ func (s *Session) Attach(c *Conn) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		_ = c.Close() //lint:ignore err-checked closing a conn attached after session close; nothing to report to
+		_ = c.Close()
 		return
 	}
 	if s.conn != nil {
@@ -271,7 +271,7 @@ func (s *Session) Close() error {
 	close(s.closeCh)
 	s.mu.Unlock()
 	if conn != nil {
-		_ = conn.Close() //lint:ignore err-checked teardown; the session is already closed to callers
+		_ = conn.Close()
 	}
 	s.wg.Wait()
 	return nil
@@ -287,7 +287,7 @@ func (s *Session) detach(conn *Conn) {
 	}
 	s.conn = nil
 	s.mu.Unlock()
-	_ = conn.Close() //lint:ignore err-checked the link already failed; close is cleanup
+	_ = conn.Close()
 	select {
 	case s.detachCh <- struct{}{}:
 	default: // a detach signal is already pending; one is enough
@@ -327,7 +327,7 @@ func (s *Session) readLoop(c *Conn, gen int) {
 		seq := binary.LittleEndian.Uint64(payload)
 		body := payload[8:]
 		if seq == unreliableSeq {
-			s.deliver(Msg{Type: typ, Payload: append([]byte(nil), body...)}) //lint:ignore hotpath-alloc the conn read buffer is reused; delivered payloads must be owned copies
+			s.deliver(Msg{Type: typ, Payload: append([]byte(nil), body...)})
 			continue
 		}
 		s.mu.Lock()
@@ -338,7 +338,7 @@ func (s *Session) readLoop(c *Conn, gen int) {
 		ack := s.expect - 1
 		s.mu.Unlock()
 		if inOrder {
-			s.deliver(Msg{Type: typ, Payload: append([]byte(nil), body...)}) //lint:ignore hotpath-alloc the conn read buffer is reused; delivered payloads must be owned copies
+			s.deliver(Msg{Type: typ, Payload: append([]byte(nil), body...)})
 		} else {
 			s.nDiscard.Add(1)
 		}

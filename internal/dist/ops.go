@@ -24,7 +24,7 @@ type ops struct {
 func newRank(part Partition, nx int32, id int) *rank {
 	xlo, xhi := part.RangeX(id)
 	ylo, yhi := part.RangeY(id)
-	return &rank{ //lint:ignore hotpath-alloc constructor setup: one rank per partition block, allocated once per run
+	return &rank{
 		id: id, xlo: xlo, xhi: xhi, ylo: ylo, yhi: yhi,
 		rootX:     make([]int32, xhi-xlo),
 		mateX:     make([]int32, xhi-xlo),
@@ -117,6 +117,7 @@ func (o ops) claim(r *rank, in []message) {
 // apply installs frontier additions and leaf discoveries from a claim round.
 func (o ops) apply(r *rank, in []message) {
 	for _, msg := range in {
+		//lint:ignore proto-exhaustive per-phase dispatch: each superstep routes only its own message kinds here, and decodeStep already rejected any kind outside the block
 		switch msg.kind {
 		case mAddFrontier:
 			x, root := msg.a, msg.b
@@ -150,6 +151,7 @@ func (o ops) augInit(r *rank) {
 // rematch, an X token flips the mate and forwards toward the root.
 func (o ops) augStep(r *rank, in []message) {
 	for _, msg := range in {
+		//lint:ignore proto-exhaustive per-phase dispatch: each superstep routes only its own message kinds here, and decodeStep already rejected any kind outside the block
 		switch msg.kind {
 		case mWalkY:
 			y, root := msg.a, msg.b
@@ -245,6 +247,7 @@ func (o ops) graftAdopt(r *rank, in []message) {
 // adopting tree is live and this is its freshest path.
 func (o ops) graftApply(r *rank, in []message) {
 	for _, msg := range in {
+		//lint:ignore proto-exhaustive per-phase dispatch: each superstep routes only its own message kinds here, and decodeStep already rejected any kind outside the block
 		switch msg.kind {
 		case mAddFrontier:
 			x, root := msg.a, msg.b

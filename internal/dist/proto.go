@@ -16,13 +16,13 @@ const protoVersion = 1
 // identity); everything else rides the session. All types stay below the
 // session layer's reserved range (0xF0+).
 const (
-	fHello    byte = 1 // worker → coordinator: version, rank wanted, nonce, graph fingerprint
-	fWelcome  byte = 2 // coordinator → worker: assigned rank, K, epoch, heartbeat/lease terms
-	fStep     byte = 3 // coordinator → worker: one superstep order with routed inbox
-	fStepDone byte = 4 // worker → coordinator: outboxes, census info, new renewable roots
-	fDone     byte = 5 // coordinator → worker: run complete, exit cleanly
-	fAbort    byte = 6 // either direction: fatal condition, carries the reason
-	fHB       byte = 7 // unreliable heartbeat, empty payload
+	fHello    byte = iota + 1 // 1: worker → coordinator: version, rank wanted, nonce, graph fingerprint
+	fWelcome                  // 2: coordinator → worker: assigned rank, K, epoch, heartbeat/lease terms
+	fStep                     // 3: coordinator → worker: one superstep order with routed inbox
+	fStepDone                 // 4: worker → coordinator: outboxes, census info, new renewable roots
+	fDone                     // 5: coordinator → worker: run complete, exit cleanly
+	fAbort                    // 6: either direction: fatal condition, carries the reason
+	fHB                       // 7: unreliable heartbeat, empty payload
 )
 
 // Superstep op codes, the coordinator-driven counterpart of the ops methods.

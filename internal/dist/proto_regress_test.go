@@ -1,0 +1,107 @@
+package dist
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"graftmatch/internal/checkpoint"
+	distnet "graftmatch/internal/dist/net"
+	"graftmatch/internal/gen"
+)
+
+// TestFrameTypeWireValues pins the frame discriminators to their wire
+// values. The iota block in proto.go is a protocol table, not a free
+// enumeration: inserting or reordering a name silently renumbers every
+// later frame and breaks any peer built from an older source tree.
+func TestFrameTypeWireValues(t *testing.T) {
+	pins := []struct {
+		name string
+		got  byte
+		want byte
+	}{
+		{"fHello", fHello, 1},
+		{"fWelcome", fWelcome, 2},
+		{"fStep", fStep, 3},
+		{"fStepDone", fStepDone, 4},
+		{"fDone", fDone, 5},
+		{"fAbort", fAbort, 6},
+		{"fHB", fHB, 7},
+	}
+	for _, p := range pins {
+		if p.got != p.want {
+			t.Errorf("%s = %d, want wire value %d", p.name, p.got, p.want)
+		}
+	}
+	if fHB >= 0xF0 {
+		t.Errorf("fHB = %d collides with the session layer's reserved range", fHB)
+	}
+}
+
+// TestPumpUnknownFrameFailsRank asserts the coordinator declares a rank
+// failed when its session delivers a frame type the protocol never
+// negotiated. Versions are pinned in the handshake, so an unknown type
+// mid-run is a protocol violation; it must fail the rank, not vanish into
+// a silent default.
+func TestPumpUnknownFrameFailsRank(t *testing.T) {
+	g := gen.ER(50, 50, 200, 9)
+	opts := testClusterOpts()
+	opts.Ranks = 1
+	c, err := NewCoordinator(g, "127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Dial as a worker would: raw Hello/Welcome, then attach a session.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	cfg := distnet.Config{
+		ReadTimeout:  500 * time.Millisecond,
+		WriteTimeout: 500 * time.Millisecond,
+	}
+	conn, err := distnet.DialOnce(ctx, c.Addr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello := encodeHello(helloFrame{
+		Version: protoVersion,
+		Rank:    0,
+		Nonce:   workerNonce(),
+		FP:      checkpoint.GraphFingerprint(g),
+	})
+	if err := conn.Send(fHello, hello); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != fWelcome {
+		t.Fatalf("handshake answered with frame type %d, want Welcome", typ)
+	}
+	w, err := decodeWelcome(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetTimeouts(0, 500*time.Millisecond)
+	sess := distnet.NewSession(distnet.SessionConfig{})
+	defer sess.Close()
+	sess.Attach(conn)
+
+	// A type below the session-reserved range that the cluster protocol
+	// never assigned.
+	const bogus byte = 0x7F
+	if err := sess.Send(bogus, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	s := c.slots[w.Rank]
+	deadline := time.Now().Add(3 * time.Second)
+	for !s.failed.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never marked the rank failed after an unknown frame type")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

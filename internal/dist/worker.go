@@ -90,21 +90,22 @@ func join(ctx context.Context, opts WorkerOptions, nonce uint64, fp checkpoint.F
 		FP:      fp,
 	})
 	if err := conn.Send(fHello, hello); err != nil {
-		_ = conn.Close() //lint:ignore err-checked handshake failed; the conn is being abandoned
+		_ = conn.Close()
 		return workerLink{}, err
 	}
 	deadline := time.Now().Add(ht)
 	for {
 		typ, payload, err := conn.Recv()
 		if err != nil {
-			_ = conn.Close() //lint:ignore err-checked handshake failed; the conn is being abandoned
+			_ = conn.Close()
 			return workerLink{}, err
 		}
+		//lint:ignore proto-exhaustive handshake loop: anything but Welcome/Abort is pre-session noise, skipped until the dial deadline expires
 		switch typ {
 		case fWelcome:
 			w, err := decodeWelcome(payload)
 			if err != nil {
-				_ = conn.Close() //lint:ignore err-checked handshake failed; the conn is being abandoned
+				_ = conn.Close()
 				return workerLink{}, err
 			}
 			// Handshake done: the lease watchdog owns liveness from here, so
@@ -114,7 +115,7 @@ func join(ctx context.Context, opts WorkerOptions, nonce uint64, fp checkpoint.F
 			return workerLink{conn: conn, welcome: w}, nil
 		case fAbort:
 			reason, derr := decodeAbort(payload)
-			_ = conn.Close() //lint:ignore err-checked handshake refused; the conn is being abandoned
+			_ = conn.Close()
 			if derr != nil {
 				return workerLink{}, derr
 			}
@@ -127,7 +128,7 @@ func join(ctx context.Context, opts WorkerOptions, nonce uint64, fp checkpoint.F
 			// until the handshake deadline, then redial as a transient
 			// failure (the same nonce makes the retry idempotent).
 			if time.Now().After(deadline) {
-				_ = conn.Close() //lint:ignore err-checked handshake timed out; the conn is being abandoned
+				_ = conn.Close()
 				return workerLink{}, &distnet.TransportError{Op: "handshake", Timeout: true, Err: fmt.Errorf("no welcome within %v", ht)} //lint:ignore hotpath-alloc timeout exit of the handshake wait loop
 			}
 		}
@@ -190,7 +191,7 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 	}
 	w := link.welcome
 	if w.K < 1 || w.Rank < 0 || w.Rank >= w.K {
-		_ = link.conn.Close() //lint:ignore err-checked refusing a nonsensical welcome; the conn is dead to us
+		_ = link.conn.Close()
 		return &ProtoError{Frame: "welcome", Reason: fmt.Sprintf("rank %d of %d", w.Rank, w.K)}
 	}
 	if opts.OnAttach != nil {
@@ -211,7 +212,7 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 	}
 
 	sess := distnet.NewSession(distnet.SessionConfig{RTO: opts.RTO})
-	defer func() { _ = sess.Close() }() //lint:ignore err-checked teardown at worker exit; the error has no recovery
+	defer func() { _ = sess.Close() }()
 	sess.Attach(link.conn)
 
 	runCtx, cancel := context.WithCancelCause(ctx)

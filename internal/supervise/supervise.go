@@ -295,7 +295,14 @@ func runRung(ctx context.Context, eng Engine, seedX, seedY []int32, cfg Config) 
 			default:
 			}
 		})
-		done <- doneMsg{res, err}
+		// done has capacity 1 and this is its only send, so the buffered
+		// send always succeeds even when the rung was abandoned and nobody
+		// receives; the default arm makes that non-blocking guarantee local
+		// instead of an invariant maintained at the make site.
+		select {
+		case done <- doneMsg{res, err}:
+		default:
+		}
 	}()
 
 	watch := !eng.Serial && cfg.PhaseTimeout > 0

@@ -371,3 +371,42 @@ func TestObserveSeesProgress(t *testing.T) {
 		t.Fatalf("observed = %v, want one report at %d", cards, testN)
 	}
 }
+
+// TestGraceDrainDeliversResult pins the done-channel handoff: an engine
+// that stops after cancellation but inside the grace window must still get
+// its result to the supervisor. The engine-side send is deliberately
+// non-blocking on a capacity-1 channel — a cancellation-aware send would
+// race awaitStop's post-cancel drain and could drop the result this test
+// requires.
+func TestGraceDrainDeliversResult(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{})
+	slow := Engine{
+		Name: "slow",
+		Run: func(rctx context.Context, seedX, seedY []int32, onPhase func(Progress)) (Result, error) {
+			seedX[0], seedY[0] = 0, 0
+			onPhase(Progress{Engine: "slow", Phase: 1, Cardinality: 1, MateX: seedX, MateY: seedY})
+			close(started)
+			<-rctx.Done()
+			time.Sleep(20 * time.Millisecond) // drain work, well inside grace
+			return Result{MateX: seedX, MateY: seedY, Cardinality: 1}, nil
+		},
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	sx, sy := emptySeeds()
+	rep, err := Run(ctx, sx, sy, []Engine{slow}, Config{Grace: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rep.Rungs[len(rep.Rungs)-1]
+	if last.Outcome != Cancelled {
+		t.Fatalf("rung outcome = %s, want Cancelled (the grace drain must receive the engine's own result, not abandon it)", last.Outcome)
+	}
+	if rep.Cardinality != 1 {
+		t.Fatalf("cardinality = %d, want the engine-delivered 1", rep.Cardinality)
+	}
+}
