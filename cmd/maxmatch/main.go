@@ -50,12 +50,12 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"graftmatch"
+	"graftmatch/internal/serve"
 )
 
 // errPartial signals a degraded (timeout-bounded) run: the matching printed
@@ -302,7 +302,10 @@ func serveObs(addr string, rec *graftmatch.Recorder) (stop func(), err error) {
 		return nil, fmt.Errorf("obs-addr: %w", err)
 	}
 	fmt.Printf("observability: serving http://%s/ (metrics, status, trace, pprof)\n", ln.Addr())
-	srv := &http.Server{Handler: graftmatch.ObsHandler(rec)}
+	// Hardened constructor (header/read/idle timeouts): the surface may be
+	// reachable by untrusted scrapers, and a naked http.Server holds a
+	// slowloris connection open forever.
+	srv := serve.NewHTTPServer(addr, graftmatch.ObsHandler(rec))
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

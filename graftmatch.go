@@ -35,6 +35,7 @@ import (
 	"graftmatch/internal/matchinit"
 	"graftmatch/internal/mmio"
 	"graftmatch/internal/obs"
+	"graftmatch/internal/par"
 	"graftmatch/internal/pf"
 	"graftmatch/internal/pushrelabel"
 	"graftmatch/internal/ssbfs"
@@ -80,6 +81,22 @@ func NewRecorder(cfg RecorderConfig) *Recorder { return obs.New(cfg) }
 // summary), /debug/pprof/* and /debug/vars. Safe on a nil recorder (all
 // endpoints report empty state).
 func ObsHandler(rec *Recorder) http.Handler { return obs.Handler(rec) }
+
+// Scheduler supplies the workers for the parallel regions of a run; see
+// Options.Scheduler. The nil default spawns goroutines per parallel call.
+type Scheduler = par.Scheduler
+
+// WorkerPool is a Scheduler backed by a fixed set of resident workers,
+// shared by every run that carries it in Options.Scheduler. A process
+// serving many concurrent matchings keeps its total compute parallelism at
+// the pool size instead of multiplying GOMAXPROCS per request; a saturated
+// or closed pool degrades regions to inline execution on the calling
+// goroutine rather than queueing unboundedly.
+type WorkerPool = par.Pool
+
+// NewWorkerPool starts a shared pool of workers (0 means GOMAXPROCS).
+// Close it when no more runs will use it; runs already in flight complete.
+func NewWorkerPool(workers int) *WorkerPool { return par.NewPool(workers) }
 
 // NewBuilder returns a Builder for a graph with nx X-vertices (rows) and ny
 // Y-vertices (columns).
@@ -225,6 +242,13 @@ type Options struct {
 	// engine, checkpoint writer, and supervisor. Serve it over HTTP with
 	// ObsHandler. The nil default records nothing and costs nothing.
 	Recorder *Recorder
+
+	// Scheduler, when non-nil, supplies the workers for every parallel
+	// region of the run — typically a WorkerPool shared across concurrent
+	// runs so their combined parallelism stays bounded at the pool size.
+	// Nil spawns fresh goroutines per parallel call (the right default for
+	// a run that owns the machine). Serial algorithms ignore it.
+	Scheduler Scheduler
 }
 
 // Result is the outcome of Match.
@@ -316,6 +340,7 @@ func finishMatch(ctx context.Context, g *Graph, m *matching.Matching, opts Optio
 			TraceFrontiers: opts.TraceFrontiers,
 			OnPhase:        opts.OnPhase,
 			Recorder:       opts.Recorder,
+			Sched:          opts.Scheduler,
 		}
 		if opts.Algorithm != MSBFS {
 			co.DirectionOptimized = true
@@ -323,9 +348,9 @@ func finishMatch(ctx context.Context, g *Graph, m *matching.Matching, opts Optio
 		co.Grafting = opts.Algorithm == MSBFSGraft
 		stats, err = core.RunCtx(ctx, g, m, co)
 	case PothenFan:
-		stats, err = pf.RunCtx(ctx, g, m, pf.Options{Threads: opts.Threads, OnPhase: opts.OnPhase, Recorder: opts.Recorder})
+		stats, err = pf.RunCtx(ctx, g, m, pf.Options{Threads: opts.Threads, OnPhase: opts.OnPhase, Recorder: opts.Recorder, Sched: opts.Scheduler})
 	case PushRelabel:
-		stats, err = pushrelabel.RunCtx(ctx, g, m, pushrelabel.Options{Threads: opts.Threads, OnPhase: opts.OnPhase, Recorder: opts.Recorder})
+		stats, err = pushrelabel.RunCtx(ctx, g, m, pushrelabel.Options{Threads: opts.Threads, OnPhase: opts.OnPhase, Recorder: opts.Recorder, Sched: opts.Scheduler})
 	case HopcroftKarp, SSBFS, SSDFS:
 		if err = ctx.Err(); err == nil {
 			//lint:ignore proto-exhaustive the enclosing case arm already narrowed to the three serial algorithms; the outer default rejects unknown values

@@ -76,13 +76,13 @@ func DefaultConfig() Config {
 		CtxPackages: []string{
 			"internal/par", "internal/core", "internal/pf",
 			"internal/pushrelabel", "internal/dist", "internal/dist/net",
-			"internal/supervise", "internal/obs",
+			"internal/supervise", "internal/obs", "internal/serve",
 		},
 		PanicPackages: []string{"internal/par"},
 		HotPackages: []string{
 			"internal/core", "internal/msbfs", "internal/queue",
 			"internal/dist", "internal/dist/net", "internal/pf",
-			"internal/pushrelabel", "internal/obs",
+			"internal/pushrelabel", "internal/obs", "internal/serve",
 		},
 	}
 }

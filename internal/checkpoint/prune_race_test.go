@@ -1,0 +1,145 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestPruneRacesConcurrentSave pins the retention/durability contract under
+// concurrency: Prune running in a tight loop while several goroutines Save
+// must never make a Save fail, never leave a torn snapshot on disk, and a
+// concurrent reader must never observe corruption — the worst a reader may
+// see is a transient not-found when retention removes the files it listed.
+// The in-progress temp file is protected by the one-minute staleness guard;
+// a fresh .tmp is by definition a write in flight, not crash debris.
+//
+// Run with -race: the interesting failures here are ordering ones.
+func TestPruneRacesConcurrentSave(t *testing.T) {
+	dir := t.TempDir()
+	snap := testSnapshot(t)
+
+	// One committed snapshot up front so the reader always has something
+	// to find (retention keeps at least `keep` newest).
+	if _, err := Save(dir, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		savers   = 4
+		perSaver = 25
+		keep     = 3
+	)
+	var (
+		wg   sync.WaitGroup
+		done = make(chan struct{})
+		errs = make(chan error, savers*perSaver+1)
+	)
+
+	for i := 0; i < savers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perSaver; j++ {
+				if _, err := Save(dir, snap); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+
+	// The pruner: retention sweeping as fast as it can list the directory.
+	var pruneWG sync.WaitGroup
+	pruneWG.Add(1)
+	go func() {
+		defer pruneWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := Prune(dir, keep); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	// The reader: LoadLatest concurrently. Missing files are acceptable
+	// (retention may delete everything a directory listing saw before the
+	// reads happen); torn or mismatched snapshots never are — Save's
+	// write-fsync-rename discipline must hold even while Prune deletes.
+	var readWG sync.WaitGroup
+	readWG.Add(1)
+	go func() {
+		defer readWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			s, _, err := LoadLatest(dir, snap.Fingerprint)
+			if err != nil {
+				var corrupt *CorruptError
+				var mismatch *MismatchError
+				if errors.As(err, &corrupt) || errors.As(err, &mismatch) {
+					errs <- err
+					return
+				}
+				continue // transient: files pruned between list and read
+			}
+			if s.Cardinality != snap.Cardinality || len(s.MateX) != len(snap.MateX) {
+				errs <- errors.New("reader observed a snapshot that was never saved")
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(done)
+	pruneWG.Wait()
+	readWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("under concurrent prune: %v", err)
+	}
+
+	// After the dust settles: retention holds, no write debris remains,
+	// and every surviving snapshot is intact end to end.
+	if err := Prune(dir, keep); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpts, tmps int
+	for _, e := range entries {
+		switch filepath.Ext(e.Name()) {
+		case ".ckpt":
+			ckpts++
+			s, err := Load(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Errorf("surviving snapshot %s is torn: %v", e.Name(), err)
+			} else if s.Fingerprint != snap.Fingerprint {
+				t.Errorf("surviving snapshot %s has wrong fingerprint", e.Name())
+			}
+		case ".tmp":
+			tmps++
+		}
+	}
+	if ckpts == 0 || ckpts > keep {
+		t.Errorf("retention after race: %d snapshots on disk, want 1..%d", ckpts, keep)
+	}
+	if tmps != 0 {
+		t.Errorf("%d temp files left behind; every Save completed, so none should remain", tmps)
+	}
+	if _, _, err := LoadLatest(dir, snap.Fingerprint); err != nil {
+		t.Errorf("LoadLatest after race: %v", err)
+	}
+}

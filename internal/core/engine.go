@@ -41,6 +41,10 @@ type engine struct {
 	ctx context.Context
 	err error
 
+	// sched supplies the workers of every parallel region (never nil; the
+	// spawn-per-call default when Options.Sched is unset).
+	sched par.Scheduler
+
 	visited []int32        // Y: 0 unvisited, 1 claimed by a tree this phase
 	bits    *bitmap.Bitmap // Y: bit-vector alternative to visited (VisitedBitmap)
 	parentY []int32        // Y: parent X vertex in its alternating tree
@@ -127,6 +131,7 @@ func RunCtx(ctx context.Context, g *bipartite.Graph, m *matching.Matching, opts 
 		m:          m,
 		opts:       opts,
 		ctx:        ctx,
+		sched:      par.SchedulerOrSpawn(opts.Sched),
 		parentY:    make([]int32, ny),
 		rootX:      make([]int32, nx),
 		rootY:      make([]int32, ny),
@@ -170,13 +175,14 @@ func RunCtx(ctx context.Context, g *bipartite.Graph, m *matching.Matching, opts 
 	return e.stats, e.err
 }
 
-// pfor runs a statically scheduled cancellation-aware parallel region,
-// latching the first failure; it reports whether the run may continue.
+// pfor runs a statically scheduled cancellation-aware parallel region on the
+// configured scheduler, latching the first failure; it reports whether the
+// run may continue.
 func (e *engine) pfor(n int, body func(worker, lo, hi int)) bool {
 	if e.err != nil {
 		return false
 	}
-	if err := par.ForCtx(e.ctx, e.opts.Threads, n, body); err != nil {
+	if err := e.sched.ForCtx(e.ctx, e.opts.Threads, n, body); err != nil {
 		e.err = err
 		return false
 	}
@@ -188,7 +194,7 @@ func (e *engine) pforDyn(n, grain int, body func(worker, lo, hi int)) bool {
 	if e.err != nil {
 		return false
 	}
-	if err := par.ForDynamicCtx(e.ctx, e.opts.Threads, n, grain, body); err != nil {
+	if err := e.sched.ForDynamicCtx(e.ctx, e.opts.Threads, n, grain, body); err != nil {
 		e.err = err
 		return false
 	}

@@ -1,0 +1,287 @@
+package par
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Scheduler abstracts where the workers of a parallel region come from. The
+// package-level ForCtx/ForDynamicCtx spawn fresh goroutines per call — the
+// right default for a single run that owns the machine. A Pool implements the
+// same contract over a fixed set of resident workers shared by many
+// concurrent runs, which is what a server needs: total parallelism stays
+// bounded at the pool size no matter how many requests are in flight, instead
+// of every request fanning out GOMAXPROCS goroutines of its own.
+//
+// Both methods keep the ForCtx/ForDynamicCtx contract exactly: body is
+// invoked with a region-local worker id in [0, p), every invocation of a
+// given id is sequential, bodies are never interrupted mid-block, and the
+// return value is nil on completion, the context's error on cancellation, or
+// a *PanicError for a contained worker panic.
+type Scheduler interface {
+	ForCtx(ctx context.Context, p, n int, body func(worker, lo, hi int)) error
+	ForDynamicCtx(ctx context.Context, p, n, grain int, body func(worker, lo, hi int)) error
+}
+
+// spawnScheduler is the default Scheduler: per-call goroutine fan-out via the
+// package-level primitives.
+type spawnScheduler struct{}
+
+func (spawnScheduler) ForCtx(ctx context.Context, p, n int, body func(worker, lo, hi int)) error {
+	return ForCtx(ctx, p, n, body)
+}
+
+func (spawnScheduler) ForDynamicCtx(ctx context.Context, p, n, grain int, body func(worker, lo, hi int)) error {
+	return ForDynamicCtx(ctx, p, n, grain, body)
+}
+
+// SchedulerOrSpawn returns s, or the default goroutine-spawning scheduler
+// when s is nil — the seam every engine routes its parallel regions through.
+func SchedulerOrSpawn(s Scheduler) Scheduler {
+	if s == nil {
+		return spawnScheduler{}
+	}
+	return s
+}
+
+// Pool is a Scheduler backed by a fixed set of resident worker goroutines.
+// Regions submitted by concurrent callers interleave on the same workers, so
+// a process serving many simultaneous runs keeps its total compute
+// parallelism at the pool size instead of multiplying it per request.
+//
+// Deadlock freedom: a region never *requires* a pool worker. The caller runs
+// one slice of every region inline; a slice that cannot be enqueued (pool
+// saturated or closed) runs inline on the caller; and once the caller
+// finishes its own slice it steals back any of its slices the pool has not
+// started yet (each slice carries a claim flag, so pool and caller race for
+// it with a CAS and exactly one side runs it). A region therefore only ever
+// waits on slices that are actively executing on a resident worker. Under
+// overload execution degrades toward serial on the submitting goroutine —
+// graceful degradation rather than queue collapse — and a closed or wedged
+// pool still completes every region handed to it. This only works because
+// region slices are independent (the ForCtx/ForDynamicCtx contract): a slice
+// never blocks waiting for a sibling slice.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	stop    chan struct{} // closed by Close after the closed flag is set
+	wg      sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed against concurrent submit/Close
+	closed bool
+
+	// queued counts tasks handed to the pool and not yet started; it lets
+	// callers observe backlog (e.g. for admission decisions).
+	queued atomic.Int64
+}
+
+// NewPool starts a pool of `workers` resident workers (0 means
+// DefaultWorkers). Close it when done.
+func NewPool(workers int) *Pool {
+	workers = clampWorkers(workers)
+	p := &Pool{
+		workers: workers,
+		// The buffer absorbs a burst of region slices without blocking
+		// submitters; beyond it, slices run inline on their caller.
+		tasks: make(chan func(), 4*workers),
+		stop:  make(chan struct{}),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case t := <-p.tasks:
+			p.queued.Add(-1)
+			t()
+		case <-p.stop:
+			// Drain tasks enqueued before Close flipped the flag; no new
+			// sends can arrive (submit checks closed under the lock).
+			for {
+				select {
+				case t := <-p.tasks:
+					p.queued.Add(-1)
+					t()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Workers returns the pool's resident worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Backlog returns the number of submitted slices not yet started — a cheap
+// saturation signal for admission controllers.
+func (p *Pool) Backlog() int { return int(p.queued.Load()) }
+
+// Close stops the resident workers after the tasks already submitted have
+// run. Regions submitted after Close still complete, executed inline on
+// their callers. Close is idempotent and safe to call concurrently with
+// submissions.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.stop)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// poolTask is one region slice handed to the pool. The claim flag arbitrates
+// the race between a resident worker picking it off the queue and the
+// submitting caller stealing it back: exactly one side wins the CAS and runs
+// it, the other skips.
+type poolTask struct {
+	claimed atomic.Bool
+	run     func()
+}
+
+// exec runs the task if this call wins the claim.
+func (t *poolTask) exec() {
+	if t.claimed.CompareAndSwap(false, true) {
+		t.run()
+	}
+}
+
+// submit hands t to a resident worker, or reports false when the caller must
+// run it inline (pool saturated or closed). Never blocks.
+func (p *Pool) submit(t *poolTask) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- t.exec:
+		p.queued.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// region tracks the slices a ForCtx/ForDynamicCtx call handed to the pool so
+// the caller can steal back the unstarted ones.
+type region struct {
+	wg        sync.WaitGroup
+	submitted []*poolTask
+}
+
+// launch wraps run in a poolTask and either enqueues it or executes it
+// inline when the pool will not take it.
+func (r *region) launch(p *Pool, run func()) {
+	r.wg.Add(1)
+	t := &poolTask{run: func() {
+		defer r.wg.Done()
+		run()
+	}}
+	if p.submit(t) {
+		r.submitted = append(r.submitted, t)
+		return
+	}
+	t.exec() // saturated or closed: degrade to inline execution
+}
+
+// finish steals back every slice the pool has not started (the WaitGroup
+// entries of stolen slices are released by exec) and then waits for the
+// slices a resident worker did start. After finish, the region only ever
+// waited on slices that were actively running.
+func (r *region) finish() {
+	for _, t := range r.submitted {
+		t.exec()
+	}
+	r.wg.Wait()
+}
+
+// ForCtx implements Scheduler over the resident workers with the same
+// static contiguous-block split as the package-level ForCtx. The caller's
+// goroutine always executes the last slice itself, then steals back any
+// unstarted sibling slices.
+func (p *Pool) ForCtx(ctx context.Context, pp, n int, body func(worker, lo, hi int)) error {
+	pp = clampWorkers(pp)
+	if n <= 0 {
+		return nil
+	}
+	if pp > n {
+		pp = n
+	}
+	g := newGate(ctx)
+	if pp == 1 {
+		runBlocked(g, 0, 0, n, ctxGrain, body)
+		return g.err()
+	}
+	r := &region{submitted: make([]*poolTask, 0, pp-1)}
+	chunk := n / pp
+	rem := n % pp
+	lo := 0
+	last := 0
+	for w := 0; w < pp; w++ {
+		hi := lo + chunk
+		if w < rem {
+			hi++
+		}
+		if w == pp-1 {
+			last = lo
+			break
+		}
+		sw, slo, shi := w, lo, hi
+		r.launch(p, func() { runBlocked(g, sw, slo, shi, ctxGrain, body) })
+		lo = hi
+	}
+	// Caller-runs slice: guarantees region progress even when every
+	// resident worker is busy with other regions.
+	runBlocked(g, pp-1, last, n, ctxGrain, body)
+	r.finish()
+	return g.err()
+}
+
+// ForDynamicCtx implements Scheduler with dynamic chunk self-scheduling over
+// the resident workers; slices claim chunks from a shared cursor exactly like
+// the package-level ForDynamicCtx.
+func (p *Pool) ForDynamicCtx(ctx context.Context, pp, n, grain int, body func(worker, lo, hi int)) error {
+	pp = clampWorkers(pp)
+	if n <= 0 {
+		return nil
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	g := newGate(ctx)
+	if pp == 1 {
+		runBlocked(g, 0, 0, n, grain, body)
+		return g.err()
+	}
+	cursor := new(atomic.Int64)
+	claim := func(w int) {
+		defer g.guard()
+		for !g.stopped() {
+			lo := cursor.Add(int64(grain)) - int64(grain)
+			if lo >= int64(n) {
+				return
+			}
+			hi := min(lo+int64(grain), int64(n))
+			body(w, int(lo), int(hi))
+		}
+	}
+	r := &region{submitted: make([]*poolTask, 0, pp-1)}
+	for w := 0; w < pp-1; w++ {
+		w := w
+		r.launch(p, func() { claim(w) })
+	}
+	claim(pp - 1) // caller-runs slice
+	r.finish()
+	return g.err()
+}

@@ -38,6 +38,11 @@ type Options struct {
 	// phases) and one span per phase. Recording happens on the driver
 	// goroutine at phase boundaries only; the nil default is a no-op.
 	Recorder *obs.Recorder
+
+	// Sched supplies the workers for the parallel regions. Nil means
+	// per-call goroutine fan-out; a shared *par.Pool bounds the total
+	// parallelism of many concurrent runs.
+	Sched par.Scheduler
 }
 
 // Run computes a maximum cardinality matching with the fair Pothen–Fan
@@ -67,6 +72,7 @@ func RunCtx(ctx context.Context, g *bipartite.Graph, m *matching.Matching, opts 
 	if p <= 0 {
 		p = par.DefaultWorkers()
 	}
+	sched := par.SchedulerOrSpawn(opts.Sched)
 	stats := &matching.Stats{Algorithm: "PF", Threads: p}
 	stats.InitialCardinality = m.Cardinality()
 	start := time.Now()
@@ -127,12 +133,12 @@ func RunCtx(ctx context.Context, g *bipartite.Graph, m *matching.Matching, opts 
 		if len(roots) == 0 {
 			break
 		}
-		if err = par.ForCtx(ctx, p, ny, clearVisited); err != nil {
+		if err = sched.ForCtx(ctx, p, ny, clearVisited); err != nil {
 			break
 		}
 
 		before := paths.Sum()
-		if err = par.ForDynamicCtx(ctx, p, len(roots), 1, searchRoots); err != nil {
+		if err = sched.ForDynamicCtx(ctx, p, len(roots), 1, searchRoots); err != nil {
 			break
 		}
 		stats.Phases++

@@ -52,6 +52,11 @@ type Options struct {
 	// happens on the driver goroutine at relabel barriers only; the nil
 	// default is a no-op.
 	Recorder *obs.Recorder
+
+	// Sched supplies the workers for the parallel push rounds. Nil means
+	// per-call goroutine fan-out; a shared *par.Pool bounds the total
+	// parallelism of many concurrent runs.
+	Sched par.Scheduler
 }
 
 // Defaults fills unset fields with the paper's parameters.
@@ -102,7 +107,8 @@ func RunCtx(ctx context.Context, g *bipartite.Graph, m *matching.Matching, opts 
 	stats.InitialCardinality = m.Cardinality()
 	start := time.Now()
 
-	e := &prState{g: g, m: m, opts: opts, ctx: ctx, stats: stats}
+	e := &prState{g: g, m: m, opts: opts, ctx: ctx, stats: stats,
+		sched: par.SchedulerOrSpawn(opts.Sched)}
 	e.rec = opts.Recorder
 	e.mEdges = e.rec.Counter("graftmatch_pr_edges_traversed_total", "edges examined by PR scans and global relabels")
 	e.mPushes = e.rec.Counter("graftmatch_pr_double_pushes_total", "double-push operations committed")
@@ -127,6 +133,10 @@ type prState struct {
 	opts Options
 	ctx  context.Context
 	err  error
+
+	// sched supplies the workers of the push rounds (never nil; the
+	// spawn-per-call default when Options.Sched is unset).
+	sched par.Scheduler
 
 	dX, dY []int32
 	limit  int32 // labels at or above limit mean "cannot reach a free Y"
@@ -369,7 +379,7 @@ func (e *prState) runParallel() {
 		for w := range nextLocal {
 			nextLocal[w] = nextLocal[w][:0]
 		}
-		if e.err = par.ForDynamicCtx(e.ctx, p, len(e.active), grain, pushRound); e.err != nil {
+		if e.err = e.sched.ForDynamicCtx(e.ctx, p, len(e.active), grain, pushRound); e.err != nil {
 			break
 		}
 

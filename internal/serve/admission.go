@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Default admission parameters; see AdmissionConfig.
+const (
+	DefaultInteractiveSlots = 4
+	DefaultBatchSlots       = 1
+	DefaultMaxQueue         = 64
+	defaultServiceEstimate  = 250 * time.Millisecond
+)
+
+// AdmissionConfig sizes the admission controller. The zero value applies the
+// package defaults.
+type AdmissionConfig struct {
+	// InteractiveSlots and BatchSlots are the per-class concurrency
+	// limits: at most this many requests of a class compute at once.
+	// 0 means the default; negative means 1.
+	InteractiveSlots int
+	BatchSlots       int
+
+	// MaxQueue bounds how many admitted-but-waiting requests a class may
+	// hold. A request arriving past the bound is shed immediately with
+	// 429 + Retry-After instead of joining a queue that can only grow.
+	// 0 means DefaultMaxQueue.
+	MaxQueue int
+}
+
+func slots(n, def int) int {
+	switch {
+	case n == 0:
+		return def
+	case n < 0:
+		return 1
+	default:
+		return n
+	}
+}
+
+// ShedError reports a request turned away by admission control: the caller
+// maps it to 429 with RetryAfter as the backoff hint.
+type ShedError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("serve: overloaded: %s (retry after %v)", e.Reason, e.RetryAfter)
+}
+
+// classState is one admission class: a slot semaphore, a queue-depth
+// counter, and an EWMA of recent service times for wait prediction.
+type classState struct {
+	name   string
+	sem    chan struct{}
+	queued atomic.Int64 // admitted but not yet holding a slot
+	active atomic.Int64 // holding a slot
+	ewmaNS atomic.Int64 // service-time EWMA, nanoseconds
+}
+
+// estimate predicts the queue wait for a request arriving with `ahead`
+// requests queued in front of it: every `cap(sem)` departures free one full
+// round of slots.
+func (c *classState) estimate(ahead int64) time.Duration {
+	ewma := time.Duration(c.ewmaNS.Load())
+	rounds := ahead/int64(cap(c.sem)) + 1
+	return time.Duration(rounds) * ewma
+}
+
+// observe folds one completed service time into the EWMA (α = 1/4).
+func (c *classState) observe(d time.Duration) {
+	for {
+		old := c.ewmaNS.Load()
+		next := old + (int64(d)-old)/4
+		if c.ewmaNS.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Admission is the bounded run queue in front of the compute path. Each
+// class owns a fixed number of slots; requests past the slot count wait in a
+// bounded queue, and requests that would overflow the queue — or provably
+// miss their deadline just waiting in it — are shed with a Retry-After hint
+// derived from the class's recent service times.
+type Admission struct {
+	classes  map[string]*classState
+	maxQueue int64
+}
+
+// NewAdmission builds the controller.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	mk := func(name string, n int) *classState {
+		c := &classState{name: name, sem: make(chan struct{}, n)}
+		c.ewmaNS.Store(int64(defaultServiceEstimate))
+		return c
+	}
+	maxQueue := cfg.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = DefaultMaxQueue
+	}
+	return &Admission{
+		classes: map[string]*classState{
+			ClassInteractive: mk(ClassInteractive, slots(cfg.InteractiveSlots, DefaultInteractiveSlots)),
+			ClassBatch:       mk(ClassBatch, slots(cfg.BatchSlots, DefaultBatchSlots)),
+		},
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// Admit blocks until the request holds a compute slot of its class, then
+// returns a release function the caller must invoke when the computation
+// ends. It sheds (*ShedError) when the class queue is full or the predicted
+// queue wait alone would exceed the request's deadline, and reports the
+// context's error if ctx ends while waiting. The deadline must also be on
+// ctx; Admit uses it only for the shed prediction.
+func (a *Admission) Admit(ctx context.Context, class string, deadline time.Time) (release func(), err error) {
+	c, ok := a.classes[class]
+	if !ok {
+		return nil, badRequestf("unknown class %q", class)
+	}
+
+	// Fast path: a free slot admits immediately — shed prediction applies
+	// only to requests forced to queue, so an idle server never turns a
+	// short-deadline request away.
+	select {
+	case c.sem <- struct{}{}:
+		return c.acquired(), nil
+	default:
+	}
+
+	q := c.queued.Add(1)
+	if q > a.maxQueue {
+		c.queued.Add(-1)
+		return nil, &ShedError{
+			Reason:     fmt.Sprintf("class %q queue full (%d waiting)", class, q-1),
+			RetryAfter: c.estimate(q - 1),
+		}
+	}
+	if wait := c.estimate(q - 1); time.Now().Add(wait).After(deadline) {
+		c.queued.Add(-1)
+		return nil, &ShedError{
+			Reason:     fmt.Sprintf("predicted queue wait %v exceeds request deadline", wait.Round(time.Millisecond)),
+			RetryAfter: wait,
+		}
+	}
+
+	select {
+	case c.sem <- struct{}{}:
+	case <-ctx.Done():
+		c.queued.Add(-1)
+		return nil, ctx.Err()
+	}
+	c.queued.Add(-1)
+	return c.acquired(), nil
+}
+
+// acquired books a just-taken slot and returns its idempotent release.
+func (c *classState) acquired() func() {
+	c.active.Add(1)
+	start := time.Now()
+	var released atomic.Bool
+	return func() {
+		if !released.CompareAndSwap(false, true) {
+			return
+		}
+		c.observe(time.Since(start))
+		c.active.Add(-1)
+		<-c.sem
+	}
+}
+
+// ClassStats is a point-in-time admission snapshot for one class.
+type ClassStats struct {
+	Class     string  `json:"class"`
+	Slots     int     `json:"slots"`
+	Active    int64   `json:"active"`
+	Queued    int64   `json:"queued"`
+	ServiceMS float64 `json:"service_ewma_ms"`
+}
+
+// Stats snapshots every class, interactive first.
+func (a *Admission) Stats() []ClassStats {
+	out := make([]ClassStats, 0, len(a.classes))
+	for _, name := range []string{ClassInteractive, ClassBatch} {
+		c := a.classes[name]
+		out = append(out, ClassStats{
+			Class:     c.name,
+			Slots:     cap(c.sem),
+			Active:    c.active.Load(),
+			Queued:    c.queued.Load(),
+			ServiceMS: float64(c.ewmaNS.Load()) / 1e6,
+		})
+	}
+	return out
+}

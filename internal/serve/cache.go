@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"graftmatch"
+	"graftmatch/internal/checkpoint"
+)
+
+// maxCachedResults bounds the completed-result cache. The registry is fixed,
+// but seeds and algorithm choices multiply keys, so eviction is needed;
+// random eviction (map order) is good enough for a bounded memory guarantee.
+const maxCachedResults = 256
+
+// cacheKey identifies one deterministic computation: the graph content (by
+// fingerprint, so two instances backed by identical files share results) and
+// everything that changes the answer. Threads deliberately excluded — the
+// matching may differ run to run, but any maximum matching is a correct
+// answer, so a cached one from a different thread count still serves.
+type cacheKey struct {
+	fp   checkpoint.Fingerprint
+	alg  graftmatch.Algorithm
+	init graftmatch.Initializer
+	seed int64
+}
+
+// flight is a single-flight cell: the leader computes and closes done; any
+// follower that arrives while it is open waits (bounded by its own deadline)
+// instead of duplicating the work.
+type flight struct {
+	done chan struct{}
+	res  *graftmatch.Result // non-nil after done only for a complete result
+}
+
+// LastGood is the best matching any run has reached for one instance: the
+// degradation floor. A request whose own run cannot finish in time answers
+// with this instead of an error.
+type LastGood struct {
+	MateX, MateY []int32
+	Cardinality  int64
+	Complete     bool
+	Engine       string
+	When         time.Time
+}
+
+// resultCache combines the complete-result cache, the single-flight table,
+// and the per-instance last-good floor. One mutex guards the maps; waiting
+// happens on per-flight channels, never under the lock.
+type resultCache struct {
+	mu       sync.Mutex
+	results  map[cacheKey]*graftmatch.Result
+	inflight map[cacheKey]*flight
+	lastGood map[string]*LastGood
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{
+		results:  make(map[cacheKey]*graftmatch.Result),
+		inflight: make(map[cacheKey]*flight),
+		lastGood: make(map[string]*LastGood),
+	}
+}
+
+// begin is the single-flight entry. It returns exactly one of:
+//   - res non-nil: a complete cached result (leader false, fl nil);
+//   - leader true: the caller must compute and then call finish(key, fl, …);
+//   - fl non-nil, leader false: another request is computing this key; wait
+//     on fl.done with your own deadline and read fl.res after it closes.
+func (c *resultCache) begin(key cacheKey) (res *graftmatch.Result, fl *flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.results[key]; ok {
+		return r, nil, false
+	}
+	if f, ok := c.inflight[key]; ok {
+		return nil, f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	return nil, f, true
+}
+
+// finish publishes the leader's outcome: caches res when it is a complete
+// matching, wakes every follower, and clears the flight. Incomplete or
+// failed runs are not cached — the next request should try again.
+func (c *resultCache) finish(key cacheKey, f *flight, res *graftmatch.Result) {
+	c.mu.Lock()
+	if res != nil && res.Complete {
+		if len(c.results) >= maxCachedResults {
+			for k := range c.results {
+				delete(c.results, k)
+				break
+			}
+		}
+		c.results[key] = res
+		f.res = res
+	}
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(f.done)
+}
+
+// noteResult folds a run's matching into the instance's last-good floor if
+// it beats what is there. Partial matchings count: the floor should be the
+// best state reached by anyone, complete or not. The mate slices are
+// retained as-is and treated as immutable from then on (each run allocates
+// its own).
+func (c *resultCache) noteResult(instance, engine string, res *graftmatch.Result) {
+	if res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if lg, ok := c.lastGood[instance]; ok {
+		if lg.Cardinality > res.Cardinality || (lg.Complete && !res.Complete) {
+			return
+		}
+	}
+	c.lastGood[instance] = &LastGood{
+		MateX:       res.MateX,
+		MateY:       res.MateY,
+		Cardinality: res.Cardinality,
+		Complete:    res.Complete,
+		Engine:      engine,
+		When:        time.Now(),
+	}
+}
+
+// seedLastGood installs a floor restored from disk (a checkpoint snapshot)
+// without competing against live results.
+func (c *resultCache) seedLastGood(instance string, lg *LastGood) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.lastGood[instance]; !ok {
+		c.lastGood[instance] = lg
+	}
+}
+
+// getLastGood returns the instance's degradation floor, if any run (or a
+// restored checkpoint) has established one.
+func (c *resultCache) getLastGood(instance string) (*LastGood, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lg, ok := c.lastGood[instance]
+	return lg, ok
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzDecodeRequest throws arbitrary bytes at the request decoder under
+// tight caps and checks its contract: never panic, never accept a request
+// that violates a cap, and always normalize what it does accept.
+func FuzzDecodeRequest(f *testing.F) {
+	seeds := []string{
+		`{"instance":"g"}`,
+		`{"instance":"g","algorithm":"pf","initializer":"ks","threads":2,"seed":7}`,
+		`{"instance":"g","deadline_ms":250,"class":"batch","mates":true,"no_cache":true}`,
+		`{"instance":"g","mate_x":[0,1,-1],"mate_y":[1,0],"b":[1.5,2.5]}`,
+		`{"instance":"` + strings.Repeat("a", 300) + `"}`,
+		`{"instance":"g","algorithm":"quantum"}`,
+		`{"instance":"g","threads":-3}`,
+		`{"instance":"g","deadline_ms":-1}`,
+		`{"instance":"g","class":"vip"}`,
+		`{}`,
+		`{`,
+		`[]`,
+		`null`,
+		`"instance"`,
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	caps := Caps{MaxBody: 4096, MaxName: 64, MaxThreads: 16, MaxVector: 32}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := DecodeRequest(body, caps)
+		if err != nil {
+			if _, ok := err.(*BadRequestError); !ok {
+				t.Fatalf("error type %T, want *BadRequestError: %v", err, err)
+			}
+			return
+		}
+		// Accepted requests must honor every cap and normalization the
+		// server relies on downstream.
+		if req.Instance == "" || len(req.Instance) > caps.MaxName {
+			t.Fatalf("accepted instance %q violates caps", req.Instance)
+		}
+		if req.Threads < 0 || req.Threads > caps.MaxThreads {
+			t.Fatalf("accepted threads %d violates caps", req.Threads)
+		}
+		if req.DeadlineMS < 0 {
+			t.Fatalf("accepted negative deadline %d", req.DeadlineMS)
+		}
+		if req.Class != ClassInteractive && req.Class != ClassBatch {
+			t.Fatalf("accepted class %q not normalized", req.Class)
+		}
+		if len(req.MateX) > caps.MaxVector || len(req.MateY) > caps.MaxVector || len(req.B) > caps.MaxVector {
+			t.Fatalf("accepted vectors %d/%d/%d violate caps", len(req.MateX), len(req.MateY), len(req.B))
+		}
+		// Options resolution must succeed for anything the decoder let
+		// through (the server calls it without re-validating).
+		_ = req.Options()
+		now := time.Now()
+		if req.Deadline(now, DefaultDeadline, DefaultMaxDeadline).Before(now) {
+			t.Fatal("resolved deadline in the past")
+		}
+	})
+}
