@@ -16,7 +16,10 @@
 //	          [packages]
 //
 // Package patterns are module-relative ("./...", "./internal/queue",
-// "internal/par/..."); with none given the whole module is checked. The
+// "internal/par/..."); with none given the whole module is checked.
+// -checks selects a subset by name, or with "-name" entries negates
+// against the full registry (-checks=-hotpath-alloc runs all but one);
+// the two forms do not mix. The
 // exit status is 0 when clean, 1 when findings were reported, 2 on usage or
 // load errors. Findings are suppressed per line with
 //
@@ -53,7 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
-	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run, or -name entries to run all but those (default: all)")
 	listFlag := fs.Bool("list", false, "list available checks and exit")
 	dirFlag := fs.String("C", "", "module root directory (default: nearest go.mod at or above the working directory)")
 	baselineFlag := fs.String("baseline", "", "subtract findings recorded in this baseline file; warn about stale entries")
@@ -70,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, c := range analysis.Checks() {
 			fmt.Fprintf(stdout, "%-16s %s\n", c.Name, c.Doc)
 		}
+		fmt.Fprintf(stdout, "\n-checks takes a comma-separated subset, or an all-negated form\n(-checks=-hotpath-alloc runs every check but that one)\n")
 		return 0
 	}
 
@@ -87,13 +91,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	var names []string
-	if *checksFlag != "" {
-		for _, n := range strings.Split(*checksFlag, ",") {
-			if n = strings.TrimSpace(n); n != "" {
-				names = append(names, n)
-			}
-		}
+	names, err := parseChecks(*checksFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "graftlint: %v\n", err)
+		return 2
 	}
 
 	prog, err := analysis.LoadModule(root)
@@ -170,6 +171,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // findModuleRoot ascends from dir to the nearest directory with a go.mod.
+// parseChecks resolves the -checks flag: a plain comma-separated list names
+// the checks to run, while "-name" entries negate — every registered check
+// except those. The two forms do not mix; nil means "all checks".
+func parseChecks(s string) ([]string, error) {
+	var pos, neg []string
+	for _, n := range strings.Split(s, ",") {
+		n = strings.TrimSpace(n)
+		switch {
+		case n == "":
+		case strings.HasPrefix(n, "-"):
+			neg = append(neg, n[1:])
+		default:
+			pos = append(pos, n)
+		}
+	}
+	if len(neg) == 0 {
+		return pos, nil
+	}
+	if len(pos) > 0 {
+		return nil, fmt.Errorf("-checks mixes selected (%s) and negated (-%s) names; use one form",
+			strings.Join(pos, ","), strings.Join(neg, ",-"))
+	}
+	known := map[string]bool{}
+	for _, name := range analysis.CheckNames() {
+		known[name] = true
+	}
+	drop := map[string]bool{}
+	for _, n := range neg {
+		if !known[n] {
+			return nil, fmt.Errorf("-checks negates unknown check %q (see -list)", n)
+		}
+		drop[n] = true
+	}
+	var names []string
+	for _, name := range analysis.CheckNames() {
+		if !drop[name] {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-checks negates every check; nothing to run")
+	}
+	return names, nil
+}
+
 func findModuleRoot(dir string) string {
 	for {
 		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"graftmatch/internal/analysis"
 )
 
 // writeFixtureModule lays out a small module with one dirty package (two
@@ -159,10 +161,88 @@ func TestListChecks(t *testing.T) {
 		"atomic-align", "mixed-access", "falseshare", "ctx-discipline", "err-checked",
 		"goroutine-leak", "lock-discipline", "wg-balance", "hotpath-alloc",
 		"proto-exhaustive", "deadline-discipline", "bounded-decode", "ctx-select",
+		"shared-race", "aliased-lock", "global-mutable",
 	} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %q:\n%s", name, out)
 		}
+	}
+	if !strings.Contains(out, "-checks=-hotpath-alloc") {
+		t.Errorf("-list output missing the negation syntax note:\n%s", out)
+	}
+}
+
+// TestParseChecks pins the -checks grammar: plain names select, -name
+// entries negate against the full registry, and the two forms do not mix.
+func TestParseChecks(t *testing.T) {
+	all := analysis.CheckNames()
+	allBut := func(drop ...string) []string {
+		skip := map[string]bool{}
+		for _, d := range drop {
+			skip[d] = true
+		}
+		var out []string
+		for _, n := range all {
+			if !skip[n] {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	var negateAll []string
+	for _, n := range all {
+		negateAll = append(negateAll, "-"+n)
+	}
+	cases := []struct {
+		name    string
+		in      string
+		want    []string
+		wantErr string
+	}{
+		{name: "empty means all", in: "", want: nil},
+		{name: "single", in: "err-checked", want: []string{"err-checked"}},
+		{name: "spaces and commas", in: " err-checked , falseshare ,", want: []string{"err-checked", "falseshare"}},
+		{name: "negate one", in: "-hotpath-alloc", want: allBut("hotpath-alloc")},
+		{name: "negate two", in: "-shared-race,-aliased-lock", want: allBut("shared-race", "aliased-lock")},
+		{name: "mixed forms", in: "err-checked,-falseshare", wantErr: "use one form"},
+		{name: "negate unknown", in: "-no-such-check", wantErr: "unknown check"},
+		{name: "negate everything", in: strings.Join(negateAll, ","), wantErr: "nothing to run"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseChecks(tc.in)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("parseChecks(%q) err = %v, want containing %q", tc.in, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseChecks(%q): %v", tc.in, err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("parseChecks(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("parseChecks(%q)[%d] = %q, want %q", tc.in, i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestChecksNegationEndToEnd: negating the only firing check silences the
+// dirty fixture; negating an unrelated one leaves its findings intact.
+func TestChecksNegationEndToEnd(t *testing.T) {
+	root := writeFixtureModule(t)
+	code, out, _ := runLint(t, "-C", root, "-checks", "-err-checked")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 with err-checked negated; output:\n%s", code, out)
+	}
+	code, out, _ = runLint(t, "-C", root, "-checks", "-ctx-discipline")
+	if code != 1 || strings.Count(out, "err-checked") != 2 {
+		t.Fatalf("exit = %d, want 1 with both err-checked findings; output:\n%s", code, out)
 	}
 }
 

@@ -53,6 +53,9 @@ func Checks() []Check {
 		DeadlineDiscipline(),
 		BoundedDecode(),
 		CtxSelect(),
+		SharedRace(),
+		AliasedLock(),
+		GlobalMutable(),
 	}
 	for i := range cs {
 		cs[i].HelpURI = helpURIBase + cs[i].Name

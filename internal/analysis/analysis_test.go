@@ -35,6 +35,9 @@ var fixtureCases = []struct {
 	{"deadlinediscipline", []string{"deadline-discipline"}, analysis.Config{}},
 	{"boundeddecode", []string{"bounded-decode"}, analysis.Config{}},
 	{"ctxselect", []string{"ctx-select"}, analysis.Config{CtxPackages: []string{"pos", "neg"}}},
+	{"sharedrace", []string{"shared-race"}, analysis.Config{}},
+	{"aliasedlock", []string{"aliased-lock"}, analysis.Config{}},
+	{"globalmutable", []string{"global-mutable"}, analysis.Config{CtxPackages: []string{"pos", "neg"}}},
 	{"suppress", nil, analysis.Config{}},
 }
 
@@ -133,6 +136,7 @@ func TestCheckNames(t *testing.T) {
 		"atomic-align", "mixed-access", "falseshare", "ctx-discipline", "err-checked",
 		"goroutine-leak", "lock-discipline", "wg-balance", "hotpath-alloc",
 		"proto-exhaustive", "deadline-discipline", "bounded-decode", "ctx-select",
+		"shared-race", "aliased-lock", "global-mutable",
 	}
 	got := analysis.CheckNames()
 	if len(got) != len(want) {

@@ -373,8 +373,10 @@ func (t *Taint) summary(obj *types.Func, depth int) *taintSummary {
 				res.Apply(node, facts)
 			}
 		}
-		if !tainted && paramsTainted {
-			// Named results assigned before a bare return.
+		if !tainted {
+			// Named results assigned before a bare return carry taint in
+			// either pass: an inherent source stored into a named result is
+			// as tainted as one in a return expression.
 			tainted = namedResultTainted(fn, g, sub, du)
 		}
 		return tainted

@@ -1,0 +1,58 @@
+// Package neg holds aliased-lock negatives: pointer receivers, pointer
+// loop variables, fresh values, and distinct mutexes.
+package neg
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Pointer receiver locks the shared mutex.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Ranging over pointers copies only the pointer.
+func RangePtrs(cs []*counter) {
+	for _, c := range cs {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+// A composite literal is a fresh value, not a copy of anything shared.
+func Fresh() int {
+	c := counter{}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// An alias locked exactly once is fine; so are two distinct mutexes.
+type pair struct {
+	a, b sync.Mutex
+}
+
+func Alias(p *counter) {
+	m := &p.mu
+	m.Lock()
+	m.Unlock()
+}
+
+func TwoLocks(p *pair) {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func use() {
+	c := &counter{}
+	Alias(c)
+	TwoLocks(&pair{})
+}

@@ -1,0 +1,55 @@
+// Package pos holds aliased-lock positives.
+package pos
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Value receiver: every call locks a private copy.
+func (c counter) IncByValue() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Range-by-value: the loop variable copies each element, mutex included.
+func RangeCopy(cs []counter) {
+	for _, c := range cs {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+// Dereference copy: c is a snapshot of *p, with a snapshot mutex.
+func DerefCopy(p *counter) {
+	c := *p
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// By-value parameter: the caller's mutex never moves with the copy.
+func ByValueParam(c counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Alias double-lock: m and p.mu are the same mutex under two names.
+func AliasDouble(p *counter) {
+	m := &p.mu
+	p.mu.Lock()
+	m.Lock()
+	m.Unlock()
+	p.mu.Unlock()
+}
+
+func use() {
+	c := &counter{}
+	AliasDouble(c)
+	DerefCopy(c)
+}

@@ -1,0 +1,33 @@
+// Package neg holds global-mutable negatives: init-time writes, main-only
+// writes, and mutex-guarded writes.
+package neg
+
+import "sync"
+
+var n int
+
+var mu sync.Mutex
+
+var guarded = map[string]int{}
+
+// init happens-before everything.
+func init() { n = 1 }
+
+// A function that never leaves the main goroutine may write freely.
+func MainOnly() { n = 2 }
+
+// The lock makes the concurrent write safe.
+func Locked() {
+	go func() {
+		mu.Lock()
+		guarded["k"] = 1
+		mu.Unlock()
+	}()
+}
+
+// Reads never trigger, wherever they run.
+func Reader() int {
+	ch := make(chan int, 1)
+	go func() { ch <- n }()
+	return <-ch
+}

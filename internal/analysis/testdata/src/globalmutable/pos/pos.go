@@ -1,0 +1,27 @@
+// Package pos holds global-mutable positives.
+package pos
+
+var hits int
+
+var table = map[string]int{}
+
+// Spawned writers mutate package state with no lock.
+func Spawn() {
+	go func() {
+		hits++
+	}()
+	go func() {
+		table["k"] = 1
+	}()
+}
+
+// A helper reached from a goroutine inherits its context.
+var last string
+
+func record(s string) { last = s }
+
+func Chain() {
+	go func() {
+		record("x")
+	}()
+}

@@ -1,0 +1,56 @@
+// Package pos holds shared-race positives: every finding in this package is
+// expected by the golden file.
+package pos
+
+import "sync"
+
+// counter: a heap object mutated by a goroutine and read by the spawner
+// with no lock on either side.
+type counter struct {
+	hits int
+}
+
+func newCounter() *counter { return &counter{} }
+
+func PlainRace() int {
+	c := newCounter()
+	go func() {
+		c.hits++
+	}()
+	return c.hits
+}
+
+// store: the classic inconsistent-locking bug — the writer locks, the
+// reader does not.
+type store struct {
+	mu    sync.Mutex
+	cache map[string]int
+}
+
+func newStore() *store { return &store{cache: map[string]int{}} }
+
+func (s *store) put(k string, v int) {
+	s.mu.Lock()
+	s.cache[k] = v
+	s.mu.Unlock()
+}
+
+func (s *store) get(k string) int { return s.cache[k] }
+
+func HalfLocked() int {
+	s := newStore()
+	go func() { s.put("a", 1) }()
+	return s.get("a")
+}
+
+// Fan-out without a join: every loop iteration spawns a writer against one
+// shared local.
+func FanOut(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		go func() {
+			total++
+		}()
+	}
+	return total
+}

@@ -147,6 +147,16 @@ type slot struct {
 	closedRetrans, closedAttach int64
 }
 
+// foldClosedLocked accumulates a retired incarnation's session counters into
+// the slot so Stats survive turnover. Callers hold s.mu: the counters are
+// lock-guarded state shared between handshake goroutines, recovery, and the
+// stats exporter.
+func (s *slot) foldClosedLocked(sess *distnet.Session) {
+	st := sess.Stats()
+	s.closedRetrans += st.Retransmits
+	s.closedAttach += st.Attaches
+}
+
 // Coordinator drives a multi-process distributed run: it listens for worker
 // joins, broadcasts superstep orders, routes the resulting messages, detects
 // rank failure by heartbeat silence, and recovers by respawning the rank and
@@ -336,8 +346,7 @@ func (c *Coordinator) handshake(raw gonet.Conn) {
 	} else {
 		if s.sess != nil {
 			old := s.sess
-			s.closedRetrans += old.Stats().Retransmits
-			s.closedAttach += old.Stats().Attaches
+			s.foldClosedLocked(old)
 			_ = old.Close() //lint:ignore err-checked,lock-discipline superseded incarnation's session; Close only closes a chan and a conn, it does not wait
 		}
 		sess := distnet.NewSession(distnet.SessionConfig{RTO: c.opts.RTO}) //lint:ignore lock-discipline spawns the retransmit loop and returns; nothing blocks under s.mu
@@ -693,10 +702,14 @@ func (c *Coordinator) recoverRank(ctx context.Context, rank int) error {
 	s.deadNonce = s.nonce
 	s.nonce = 0
 	s.alive = false
+	// The closed-session counters are s.mu state (handshake and
+	// exportSessionStats touch them under the lock); fold them in before
+	// releasing it.
+	if sess != nil {
+		s.foldClosedLocked(sess)
+	}
 	s.mu.Unlock()
 	if sess != nil {
-		s.closedRetrans += sess.Stats().Retransmits
-		s.closedAttach += sess.Stats().Attaches
 		_ = sess.Close()
 	}
 	c.mon.Forget(rank)

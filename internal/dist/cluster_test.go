@@ -406,3 +406,34 @@ func TestClusterCheckpointResume(t *testing.T) {
 		t.Errorf("resumed run took %d phases, want 1 (checkpoint already maximum)", s2.Phases)
 	}
 }
+
+// TestClosedCounterFoldIsLocked pins a race fix: recoverRank used to fold a
+// retired session's counters into the slot after releasing s.mu, racing the
+// handshake path and the stats exporter, which both treat closedRetrans and
+// closedAttach as lock-guarded state. The fold now lives in
+// slot.foldClosedLocked and runs inside the critical section; this test
+// drives the real fold and the real exporter concurrently so `go test -race`
+// fails if the discipline regresses.
+func TestClosedCounterFoldIsLocked(t *testing.T) {
+	c := &Coordinator{slots: []*slot{{rank: 0, frames: make(chan stepDoneFrame, 1)}}}
+	s := c.slots[0]
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			sess := distnet.NewSession(distnet.SessionConfig{})
+			s.mu.Lock()
+			s.foldClosedLocked(sess)
+			s.mu.Unlock()
+			_ = sess.Close()
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		c.exportSessionStats()
+	}
+	<-done
+	if c.stats.Attaches != 0 || c.stats.Retransmits != 0 {
+		t.Fatalf("idle sessions exported attaches=%d retransmits=%d, want 0",
+			c.stats.Attaches, c.stats.Retransmits)
+	}
+}
