@@ -204,9 +204,13 @@ func TestMatchdE2ESoak(t *testing.T) {
 		"-deadline", "5s", "-max-deadline", "30s")
 
 	// --- phase 1: valid traffic ---------------------------------------
-	code, _, data := p.post(t, "/match", `{"instance":"fast"}`)
+	code, hdr1, data := p.post(t, "/match", `{"instance":"fast"}`)
 	if code != http.StatusOK {
 		t.Fatalf("fast match: %d %s", code, data)
+	}
+	reqID := hdr1.Get("X-Request-Id")
+	if reqID == "" {
+		t.Fatal("fast match response has no X-Request-Id header")
 	}
 	var m struct {
 		Cardinality int64  `json:"cardinality"`
@@ -223,6 +227,31 @@ func TestMatchdE2ESoak(t *testing.T) {
 		t.Fatalf("cached match: %d %s", code, data)
 	} else if err := json.Unmarshal(data, &m); err != nil || m.Source != "cache" {
 		t.Fatalf("second match source = %q (err %v)", m.Source, err)
+	}
+
+	// Request correlation: the minted X-Request-Id from the first match must
+	// appear in the trace ring (spans tagged with its trace id) and in the
+	// one-line-per-request log on stdout.
+	resp0, err := http.Get(p.base + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceBody, _ := io.ReadAll(resp0.Body)
+	resp0.Body.Close()
+	if !strings.Contains(string(traceBody), reqID) {
+		t.Errorf("request id %s from the match response not found in /trace", reqID)
+	}
+	// The log line flushes after the response is written; give the pipe
+	// scanner a moment to deliver it.
+	logged := false
+	for i := 0; i < 200 && !logged; i++ {
+		logged = strings.Contains(p.stdout.String(), `"id":"`+reqID+`"`)
+		if !logged {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if !logged {
+		t.Errorf("request id %s has no structured log line on stdout\nstdout:\n%s", reqID, p.stdout)
 	}
 
 	// --- phase 2: concurrent soak -------------------------------------

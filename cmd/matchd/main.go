@@ -17,8 +17,10 @@
 //
 //	matchd -registry graphs/ [-addr 127.0.0.1:8080] [flags]
 //
-// The observability surface (/metrics, /status, /trace, /debug/pprof) is
-// mounted on the same listener.
+// The observability surface (/metrics, /status, /trace, /requests,
+// /cluster, /debug/pprof) is mounted on the same listener. Every response
+// carries an X-Request-Id header (inbound one honored, minted otherwise);
+// one structured log line per request ties the id to its trace on /trace.
 package main
 
 import (
@@ -86,6 +88,7 @@ func run(args []string, stdout io.Writer) error {
 		Admission:     serve.AdmissionConfig{InteractiveSlots: *interactive, BatchSlots: *batch, MaxQueue: *maxQueue},
 		Supervise:     &graftmatch.SuperviseOptions{PhaseTimeout: *phaseTO, StallPhases: *stallPhases},
 		CheckpointDir: *ckptDir,
+		Log:           stdout,
 	})
 	if err != nil {
 		return err

@@ -147,6 +147,10 @@ func runDistWorker(cfg distRunConfig) error {
 		OnAttach: func(rank int) {
 			fmt.Fprintf(os.Stderr, "dist: attached to %s as rank %d\n", cfg.flags.join, rank)
 		},
+		// A worker always keeps a small local recorder: it feeds the
+		// telemetry shipper, so the coordinator's /trace shows a process
+		// lane for this rank even though the worker serves no HTTP itself.
+		Recorder: graftmatch.NewRecorder(graftmatch.RecorderConfig{Workers: 1, TraceCapacity: 4096}),
 	}
 	if err := dist.RunWorker(context.Background(), opts); err != nil {
 		return fmt.Errorf("worker: %w", err)
@@ -306,6 +310,9 @@ func runDistCoordinator(cfg distRunConfig) error {
 		return fmt.Errorf("distributed run: %w", runErr)
 	}
 
+	if st.Trace != "" {
+		fmt.Printf("run trace: %s\n", st.Trace)
+	}
 	fmt.Printf("algorithm: %s\n", st.Algorithm)
 	fmt.Printf("maximum matching cardinality: %d\n", m.Cardinality())
 	fmt.Printf("runtime: %s\n", st.Runtime)

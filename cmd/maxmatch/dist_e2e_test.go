@@ -4,7 +4,9 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -115,7 +117,7 @@ func TestDistE2EKillRank(t *testing.T) {
 	defer cancel()
 	cmd := exec.CommandContext(ctx, bin,
 		"-dist-listen", "127.0.0.1:0", "-dist-ranks", "4", "-dist-spawn",
-		"-dist-hb", "25ms", "-verify", "-stats", gpath)
+		"-dist-hb", "25ms", "-obs-addr", "127.0.0.1:0", "-verify", "-stats", gpath)
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	stdout, err := cmd.StdoutPipe()
@@ -127,9 +129,15 @@ func TestDistE2EKillRank(t *testing.T) {
 	}
 
 	// Scan the coordinator's stdout live: learn the worker pids from the
-	// spawn lines, SIGKILL rank 1 the moment the first phase completes.
+	// spawn lines and the obs address from the serving line, SIGKILL rank 1
+	// the moment the first phase completes, and scrape /trace + /cluster
+	// mid-run at each later phase boundary until spans from at least two
+	// distinct ranks have landed in the coordinator's trace.
 	pids := map[int]int{}
 	killed := false
+	var obsURL string
+	rankLanes := map[int]bool{}
+	var clusterOK bool
 	var transcript strings.Builder
 	sc := bufio.NewScanner(stdout)
 	for sc.Scan() {
@@ -141,7 +149,14 @@ func TestDistE2EKillRank(t *testing.T) {
 			pids[rank] = pid
 			continue
 		}
-		if !killed && strings.HasPrefix(line, "phase ") && pids[1] != 0 {
+		if addr, ok := strings.CutPrefix(line, "observability: serving http://"); ok {
+			obsURL = "http://" + addr[:strings.IndexByte(addr, '/')]
+			continue
+		}
+		if !strings.HasPrefix(line, "phase ") {
+			continue
+		}
+		if !killed && pids[1] != 0 {
 			proc, err := os.FindProcess(pids[1])
 			if err != nil {
 				t.Fatalf("find rank 1 pid %d: %v", pids[1], err)
@@ -150,6 +165,10 @@ func TestDistE2EKillRank(t *testing.T) {
 				t.Fatalf("kill rank 1: %v", err)
 			}
 			killed = true
+			continue
+		}
+		if obsURL != "" && (len(rankLanes) < 2 || !clusterOK) {
+			scrapeClusterObs(t, obsURL, rankLanes, &clusterOK)
 		}
 	}
 	err = cmd.Wait()
@@ -171,5 +190,57 @@ func TestDistE2EKillRank(t *testing.T) {
 	}
 	if !regexp.MustCompile(`rank deaths: [1-9]`).MatchString(out) {
 		t.Errorf("stats report no rank deaths\nstdout:\n%s", out)
+	}
+	if obsURL == "" {
+		t.Errorf("coordinator never printed the observability serving line\nstdout:\n%s", out)
+	}
+	if len(rankLanes) < 2 {
+		t.Errorf("mid-run /trace scrapes saw spans from ranks %v, want >= 2 distinct ranks", rankLanes)
+	}
+	if !clusterOK {
+		t.Errorf("mid-run /cluster scrapes never returned a full snapshot (trace id + 4 ranks)")
+	}
+	if !regexp.MustCompile(`run trace: [0-9a-f]{16}`).MatchString(out) {
+		t.Errorf("stdout missing the run trace line\nstdout:\n%s", out)
+	}
+}
+
+// scrapeClusterObs polls the coordinator's observability surface mid-run.
+// Scrapes are best-effort — the run may finish between the phase line and
+// the GET — so errors leave the accumulators unchanged; the caller asserts
+// on the union of all scrapes.
+func scrapeClusterObs(t *testing.T, obsURL string, rankLanes map[int]bool, clusterOK *bool) {
+	t.Helper()
+	if resp, err := http.Get(obsURL + "/trace"); err == nil {
+		var ct struct {
+			TraceEvents []struct {
+				Ph  string `json:"ph"`
+				Pid int    `json:"pid"`
+			} `json:"traceEvents"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&ct) == nil {
+			for _, ev := range ct.TraceEvents {
+				// Lane 0 (pid 1) is the coordinator's own local lane; pids
+				// >= 2 are worker rank lanes (pid = rank + 2).
+				if ev.Ph != "M" && ev.Pid >= 2 {
+					rankLanes[ev.Pid-2] = true
+				}
+			}
+		}
+		resp.Body.Close()
+	}
+	if resp, err := http.Get(obsURL + "/cluster"); err == nil {
+		var cs struct {
+			Trace string `json:"trace"`
+			Ranks []struct {
+				Rank  int  `json:"rank"`
+				Alive bool `json:"alive"`
+			} `json:"ranks"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&cs) == nil &&
+			cs.Trace != "" && len(cs.Ranks) == 4 {
+			*clusterOK = true
+		}
+		resp.Body.Close()
 	}
 }

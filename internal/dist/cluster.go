@@ -111,6 +111,10 @@ type ClusterStats struct {
 	Supersteps int64
 	Messages   int64
 
+	// Trace is the run's trace id (16-hex), minted at coordinator start and
+	// propagated to every rank in the Welcome; all shipped spans carry it.
+	Trace string
+
 	// Reconnects counts session re-attaches of a live incarnation (network
 	// blips); RankDeaths counts workers declared dead; Recoveries counts
 	// epoch rollbacks that followed; RecoveryTime is their summed duration
@@ -145,6 +149,17 @@ type slot struct {
 	// retransmits/attaches accumulated from sessions this slot has closed,
 	// so Stats survive incarnation turnover.
 	closedRetrans, closedAttach int64
+
+	// Telemetry state under its own mutex: the pump goroutine writes it per
+	// fTelemetry frame, the /cluster exporter reads it at phase boundaries —
+	// never on the driver's gather path.
+	telMu      sync.Mutex
+	clockOff   int64 // coordinator recv clock − worker send clock (last handshake)
+	spansIn    int64 // spans ingested from this rank
+	spansDrop  int64 // spans the rank reported dropping at the source
+	telSteps   int64 // supersteps the rank reported executing
+	stepLatSum int64 // summed shipped step durations, ns
+	stepLatMax int64 // max shipped step duration, ns
 }
 
 // foldClosedLocked accumulates a retired incarnation's session counters into
@@ -173,6 +188,7 @@ type Coordinator struct {
 	slots []*slot
 	mu    sync.Mutex // guards handshake slot assignment
 	epoch atomic.Uint64
+	trace uint64 // run trace id, minted at construction, immutable after
 
 	mon *distnet.Monitor
 
@@ -221,7 +237,8 @@ func NewCoordinator(g *bipartite.Graph, addr string, opts ClusterOptions) (*Coor
 	}
 	c.inboxes = make([][]message, c.part.K)
 	c.lifeCtx, c.lifeCancel = context.WithCancel(context.Background())
-	c.rec = opts.Recorder
+	c.trace = obs.NewTraceID()
+	c.rec = opts.Recorder.WithTrace(c.trace)
 	c.mSupersteps = c.rec.Counter("graftmatch_cluster_supersteps_total", "BSP superstep rounds broadcast to the cluster")
 	c.mMessages = c.rec.Counter("graftmatch_cluster_messages_total", "point-to-point messages routed plus collective broadcast volume")
 	c.mPhases = c.rec.Counter("graftmatch_cluster_phases_total", "completed distributed search phases")
@@ -321,10 +338,20 @@ func (c *Coordinator) handshake(raw gonet.Conn) {
 		return
 	}
 	reattach := s.alive && s.nonce == h.Nonce
+	if h.SentAt != 0 {
+		// Clock-offset estimate: receive time minus the worker's send stamp.
+		// One-way latency biases it by the network delay, which is orders of
+		// magnitude below the superstep durations the offset aligns.
+		off := time.Now().UnixNano() - h.SentAt
+		s.telMu.Lock()
+		s.clockOff = off
+		s.telMu.Unlock()
+	}
 	welcome := encodeWelcome(welcomeFrame{
 		Rank:        int32(s.rank),
 		K:           int32(c.part.K),
 		Epoch:       c.epoch.Load(),
+		Trace:       c.trace,
 		HBMillis:    uint32(c.opts.Heartbeat / time.Millisecond),
 		LeaseMillis: uint32(c.opts.Lease / time.Millisecond),
 	})
@@ -432,6 +459,13 @@ func (c *Coordinator) pump(s *slot, sess *distnet.Session) {
 			case <-c.lifeCtx.Done():
 				return
 			}
+		case fTelemetry:
+			f, err := decodeTelemetry(m.Payload)
+			if err != nil {
+				s.failed.Store(true) // a garbled worker is a dead worker
+				return
+			}
+			c.ingestTelemetry(s, &f)
 		case fAbort:
 			s.failed.Store(true)
 			return
@@ -446,6 +480,85 @@ func (c *Coordinator) pump(s *slot, sess *distnet.Session) {
 			return
 		}
 	}
+}
+
+// ingestTelemetry merges one rank's shipped batch into the coordinator's
+// tracer (rank-tagged lane, clock-aligned starts) and the slot's telemetry
+// counters. Runs on the pump goroutine — the driver's phase loop never sees
+// telemetry at all.
+func (c *Coordinator) ingestTelemetry(s *slot, f *telemetryFrame) {
+	s.telMu.Lock()
+	off := s.clockOff
+	s.spansIn += int64(len(f.Spans))
+	s.spansDrop = int64(f.Dropped)
+	s.telSteps += f.Steps
+	for i := range f.Spans {
+		if d := f.Spans[i].Dur; d > s.stepLatMax {
+			s.stepLatMax = d
+		}
+		s.stepLatSum += f.Spans[i].Dur
+	}
+	s.telMu.Unlock()
+	c.mMessages.Add(s.rank, f.MsgsOut)
+
+	tr := c.rec.Tracer()
+	if tr == nil || len(f.Spans) == 0 {
+		return
+	}
+	// Pump-side ingest: one slice per shipped batch (~64 supersteps), never
+	// on the driver loop, so this allocation is off every hot path.
+	spans := make([]obs.Span, len(f.Spans))
+	for i, ts := range f.Spans {
+		spans[i] = obs.Span{
+			Cat:   "rank",
+			Name:  opSpanName(ts.Op),
+			Start: ts.Start + off,
+			Dur:   ts.Dur,
+			Arg:   ts.Arg,
+			Lane:  int32(s.rank) + 1,
+			Trace: f.Trace,
+		}
+	}
+	tr.Ingest(spans)
+}
+
+// exportCluster publishes the per-rank snapshot behind /cluster: liveness,
+// clock offsets, the rank-indexed health counters, and the telemetry
+// aggregates the pumps accumulated. Called at phase boundaries and run end.
+func (c *Coordinator) exportCluster() {
+	if c.rec == nil {
+		return
+	}
+	cs := obs.ClusterSnapshot{
+		Trace:      obs.TraceHex(c.trace),
+		Epoch:      int64(c.epoch.Load()),
+		Supersteps: c.stats.Supersteps,
+		Recoveries: c.stats.Recoveries,
+		Ranks:      make([]obs.RankStatus, c.part.K),
+		UpdatedAt:  time.Now().UnixNano(),
+	}
+	for i, s := range c.slots {
+		rs := &cs.Ranks[i]
+		rs.Rank = i
+		s.mu.Lock()
+		rs.Alive = s.alive
+		rs.Retransmits = s.closedRetrans
+		if s.sess != nil {
+			rs.Retransmits += s.sess.Stats().Retransmits
+		}
+		s.mu.Unlock()
+		s.telMu.Lock()
+		rs.ClockOffsetNS = s.clockOff
+		rs.SpansIngested = s.spansIn
+		rs.SpansDropped = s.spansDrop
+		rs.Steps = s.telSteps
+		rs.StepLatencySumNS = s.stepLatSum
+		rs.StepLatencyMaxNS = s.stepLatMax
+		s.telMu.Unlock()
+		rs.Reconnects = c.mReconnects.ValueAt(i)
+		rs.Deaths = c.mDeaths.ValueAt(i)
+	}
+	c.rec.SetCluster(cs)
 }
 
 // --- superstep driver -----------------------------------------------------
@@ -482,6 +595,7 @@ func (c *Coordinator) round(ctx context.Context, op byte, scatterM *matching.Mat
 		f := stepFrame{
 			Epoch:    epoch,
 			SSID:     c.ssid,
+			Trace:    c.trace,
 			Op:       op,
 			RenewNew: c.renewNew,
 			In:       c.inboxes[rank],
@@ -591,6 +705,7 @@ func (c *Coordinator) Run(ctx context.Context, m *matching.Matching) (ClusterSta
 		Threads:   c.part.K,
 	}
 	c.stats.Ranks = c.part.K
+	c.stats.Trace = obs.TraceHex(c.trace)
 	c.stats.InitialCardinality = m.Cardinality()
 	start := time.Now()
 
@@ -898,6 +1013,7 @@ func (c *Coordinator) phaseBoundary(ctx context.Context, lastGood *matching.Matc
 
 	c.mPhases.Add(0, 1)
 	c.exportSessionStats()
+	c.exportCluster()
 	c.rec.Span("cluster", "phase", phaseStart, time.Since(phaseStart), card)
 	c.rec.PhaseDone(c.stats.Algorithm, c.stats.Phases, card)
 	if c.opts.OnPhase != nil {
@@ -936,6 +1052,7 @@ func (c *Coordinator) finishStats(start time.Time, m *matching.Matching, err err
 	c.stats.FinalCardinality = m.Cardinality()
 	c.stats.Complete = err == nil
 	c.exportSessionStats()
+	c.exportCluster()
 }
 
 // broadcastDone tells every worker the run is complete and gives the final

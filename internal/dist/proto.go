@@ -8,21 +8,24 @@ import (
 )
 
 // protoVersion gates the cluster wire protocol; a worker and coordinator
-// must agree exactly (the Hello/Welcome handshake checks).
-const protoVersion = 1
+// must agree exactly (the Hello/Welcome handshake checks). v2 added the
+// run-trace context (Hello send timestamp, Welcome trace id, trace ids on
+// superstep frames) and the fTelemetry span-shipping frame.
+const protoVersion = 2
 
 // Frame types on a cluster link. Hello and Welcome travel raw on the conn
 // before the reliable session attaches (they negotiate the session's
 // identity); everything else rides the session. All types stay below the
 // session layer's reserved range (0xF0+).
 const (
-	fHello    byte = iota + 1 // 1: worker → coordinator: version, rank wanted, nonce, graph fingerprint
-	fWelcome                  // 2: coordinator → worker: assigned rank, K, epoch, heartbeat/lease terms
-	fStep                     // 3: coordinator → worker: one superstep order with routed inbox
-	fStepDone                 // 4: worker → coordinator: outboxes, census info, new renewable roots
-	fDone                     // 5: coordinator → worker: run complete, exit cleanly
-	fAbort                    // 6: either direction: fatal condition, carries the reason
-	fHB                       // 7: unreliable heartbeat, empty payload
+	fHello     byte = iota + 1 // 1: worker → coordinator: version, rank wanted, nonce, graph fingerprint
+	fWelcome                   // 2: coordinator → worker: assigned rank, K, epoch, heartbeat/lease terms
+	fStep                      // 3: coordinator → worker: one superstep order with routed inbox
+	fStepDone                  // 4: worker → coordinator: outboxes, census info, new renewable roots
+	fDone                      // 5: coordinator → worker: run complete, exit cleanly
+	fAbort                     // 6: either direction: fatal condition, carries the reason
+	fHB                        // 7: unreliable heartbeat, empty payload
+	fTelemetry                 // 8: worker → coordinator: batched spans + metric deltas, best-effort
 )
 
 // Superstep op codes, the coordinator-driven counterpart of the ops methods.
@@ -46,6 +49,34 @@ const (
 	opReportMates                 // return the rank's mate arrays (phase boundary)
 )
 
+// opNames maps op codes to the span names the cluster trace uses, so the
+// telemetry frame ships one byte per span instead of a string. Index 0 and
+// out-of-range ops render as "op?" rather than faulting on a garbage byte.
+var opNames = [...]string{
+	opScatter:     "scatter",
+	opSeed:        "seed",
+	opExpand:      "expand",
+	opClaim:       "claim",
+	opApply:       "apply",
+	opAugInit:     "aug-init",
+	opAugStep:     "aug-step",
+	opCensus:      "census",
+	opGraftQuery:  "graft-query",
+	opGraftAccept: "graft-accept",
+	opGraftAdopt:  "graft-adopt",
+	opGraftApply:  "graft-apply",
+	opRebuild:     "rebuild",
+	opReportMates: "report-mates",
+}
+
+// opSpanName returns the trace span name for an op code.
+func opSpanName(op byte) string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return "op?"
+}
+
 // ProtoError reports a malformed cluster frame: truncated, oversized counts,
 // unknown discriminators. It is terminal for the link that produced it — a
 // peer speaking garbage is not retried against.
@@ -66,25 +97,30 @@ type helloFrame struct {
 	Version uint16
 	Rank    int32 // requested rank; -1 means "assign me one"
 	Nonce   uint64
+	SentAt  int64 // worker wall clock (UnixNano) at send; clock-offset estimate
 	FP      checkpoint.Fingerprint
 }
 
 // welcomeFrame answers a Hello: the assigned rank, the cluster width, the
-// epoch the worker joins at, and the failure-detection terms it must obey.
+// epoch the worker joins at, the run trace id every spilled span inherits,
+// and the failure-detection terms the worker must obey.
 type welcomeFrame struct {
 	Rank        int32
 	K           int32
 	Epoch       uint64
+	Trace       uint64 // run/trace id minted by the coordinator
 	HBMillis    uint32 // heartbeat send interval
 	LeaseMillis uint32 // coordinator silence after which the worker aborts
 }
 
 // stepFrame orders one superstep: the op to run, the renewable roots merged
 // since the worker's last step, and the routed inbox. Scatter steps carry
-// the mate arrays for the worker's block instead of an inbox.
+// the mate arrays for the worker's block instead of an inbox. Trace echoes
+// the run trace id so a captured frame is self-identifying.
 type stepFrame struct {
 	Epoch    uint64
 	SSID     uint64
+	Trace    uint64
 	Op       byte
 	RenewNew []int32
 	In       []message
@@ -98,12 +134,42 @@ type stepFrame struct {
 type stepDoneFrame struct {
 	Epoch    uint64
 	SSID     uint64
+	Trace    uint64
 	Op       byte
 	Info     [2]int64
 	NewRenew []int32
 	Out      [][]message
 	MateX    []int32 // opReportMates only
 	MateY    []int32 // opReportMates only
+}
+
+// telSpan is one shipped span: the op it timed, worker-local wall-clock
+// start, duration, and one scalar (the op's Info[0]). Op-coded so the wire
+// cost is a fixed 25 bytes and encoding allocates nothing.
+type telSpan struct {
+	Op    byte
+	Start int64 // worker wall clock, UnixNano; coordinator applies clock offset
+	Dur   int64
+	Arg   int64
+}
+
+// telSpanBytes is the wire size of one telSpan (1 + 3×8).
+const telSpanBytes = 25
+
+// maxTelSpans bounds one telemetry frame; the worker's shipper buffer is
+// sized to it, so anything beyond is dropped-oldest at the source.
+const maxTelSpans = 512
+
+// telemetryFrame ships a worker's batched spans and metric deltas to the
+// coordinator at superstep boundaries. Entirely best-effort: the coordinator
+// ingests it off the pump goroutine and the driver never waits for one.
+type telemetryFrame struct {
+	Epoch   uint64
+	Trace   uint64
+	Dropped uint64 // spans lost to the shipper's bounded buffer so far
+	Steps   int64  // supersteps executed since the last telemetry frame
+	MsgsOut int64  // messages emitted since the last telemetry frame
+	Spans   []telSpan
 }
 
 // --- encoding -------------------------------------------------------------
@@ -134,10 +200,11 @@ func putMsgs(b []byte, ms []message) []byte {
 }
 
 func encodeHello(h helloFrame) []byte {
-	b := make([]byte, 0, 40)
+	b := make([]byte, 0, 48)
 	b = putU16(b, h.Version)
 	b = putI32(b, h.Rank)
 	b = putU64(b, h.Nonce)
+	b = putI64(b, h.SentAt)
 	b = putI32(b, h.FP.NX)
 	b = putI32(b, h.FP.NY)
 	b = putI64(b, h.FP.NNZ)
@@ -146,10 +213,11 @@ func encodeHello(h helloFrame) []byte {
 }
 
 func encodeWelcome(w welcomeFrame) []byte {
-	b := make([]byte, 0, 24)
+	b := make([]byte, 0, 32)
 	b = putI32(b, w.Rank)
 	b = putI32(b, w.K)
 	b = putU64(b, w.Epoch)
+	b = putU64(b, w.Trace)
 	b = putU32(b, w.HBMillis)
 	b = putU32(b, w.LeaseMillis)
 	return b
@@ -160,6 +228,7 @@ func encodeStep(buf []byte, f *stepFrame) []byte {
 	b := buf[:0]
 	b = putU64(b, f.Epoch)
 	b = putU64(b, f.SSID)
+	b = putU64(b, f.Trace)
 	b = append(b, f.Op)
 	b = putI32s(b, f.RenewNew)
 	b = putMsgs(b, f.In)
@@ -173,6 +242,7 @@ func encodeStepDone(buf []byte, f *stepDoneFrame) []byte {
 	b := buf[:0]
 	b = putU64(b, f.Epoch)
 	b = putU64(b, f.SSID)
+	b = putU64(b, f.Trace)
 	b = append(b, f.Op)
 	b = putI64(b, f.Info[0])
 	b = putI64(b, f.Info[1])
@@ -183,6 +253,26 @@ func encodeStepDone(buf []byte, f *stepDoneFrame) []byte {
 	}
 	b = putI32s(b, f.MateX)
 	b = putI32s(b, f.MateY)
+	return b
+}
+
+// encodeTelemetry appends into buf (reused across ships by the worker's
+// telemetry shipper — the encode itself allocates nothing).
+func encodeTelemetry(buf []byte, f *telemetryFrame) []byte {
+	b := buf[:0]
+	b = putU64(b, f.Epoch)
+	b = putU64(b, f.Trace)
+	b = putU64(b, f.Dropped)
+	b = putI64(b, f.Steps)
+	b = putI64(b, f.MsgsOut)
+	b = putU32(b, uint32(len(f.Spans)))
+	for i := range f.Spans {
+		s := &f.Spans[i]
+		b = append(b, s.Op)
+		b = putI64(b, s.Start)
+		b = putI64(b, s.Dur)
+		b = putI64(b, s.Arg)
+	}
 	return b
 }
 
@@ -322,6 +412,7 @@ func decodeHello(b []byte) (helloFrame, error) {
 		Version: r.u16(),
 		Rank:    r.i32(),
 		Nonce:   r.u64(),
+		SentAt:  r.i64(),
 		FP: checkpoint.Fingerprint{
 			NX: r.i32(), NY: r.i32(), NNZ: r.i64(), AdjHash: r.u64(),
 		},
@@ -335,6 +426,7 @@ func decodeWelcome(b []byte) (welcomeFrame, error) {
 		Rank:        r.i32(),
 		K:           r.i32(),
 		Epoch:       r.u64(),
+		Trace:       r.u64(),
 		HBMillis:    r.u32(),
 		LeaseMillis: r.u32(),
 	}
@@ -346,6 +438,7 @@ func decodeStep(b []byte) (stepFrame, error) {
 	f := stepFrame{
 		Epoch:    r.u64(),
 		SSID:     r.u64(),
+		Trace:    r.u64(),
 		Op:       r.u8(),
 		RenewNew: r.i32s(),
 		In:       r.msgs(),
@@ -364,6 +457,7 @@ func decodeStepDone(b []byte, k int) (stepDoneFrame, error) {
 	f := stepDoneFrame{
 		Epoch: r.u64(),
 		SSID:  r.u64(),
+		Trace: r.u64(),
 		Op:    r.u8(),
 	}
 	f.Info[0] = r.i64()
@@ -381,6 +475,35 @@ func decodeStepDone(b []byte, k int) (stepDoneFrame, error) {
 	}
 	f.MateX = r.i32s()
 	f.MateY = r.i32s()
+	return f, r.finish()
+}
+
+// decodeTelemetry validates the span count against the bytes actually
+// present (and the maxTelSpans cap) before allocating — a telemetry frame is
+// the only worker-originated frame besides StepDone, so it gets the same
+// allocation-bomb discipline.
+func decodeTelemetry(b []byte) (telemetryFrame, error) {
+	r := newPR("telemetry", b)
+	f := telemetryFrame{
+		Epoch:   r.u64(),
+		Trace:   r.u64(),
+		Dropped: r.u64(),
+		Steps:   r.i64(),
+		MsgsOut: r.i64(),
+	}
+	n := int(r.u32())
+	if !r.bad && n > maxTelSpans {
+		r.fail("span count exceeds cap")
+	}
+	if !r.bad && len(r.b)-r.off < telSpanBytes*n {
+		r.fail("span count exceeds frame")
+	}
+	if !r.bad && n > 0 {
+		f.Spans = make([]telSpan, n)
+		for i := range f.Spans {
+			f.Spans[i] = telSpan{Op: r.u8(), Start: r.i64(), Dur: r.i64(), Arg: r.i64()}
+		}
+	}
 	return f, r.finish()
 }
 

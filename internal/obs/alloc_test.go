@@ -49,6 +49,43 @@ func TestLiveRecorderHotPathZeroAlloc(t *testing.T) {
 	}
 }
 
+// The telemetry additions must not loosen the contract: trace-tagged spans,
+// exemplar'd histogram observes, and the request-table lifecycle are all
+// allocation-free on a live recorder, and the no-op recorder stays free even
+// through WithTrace.
+func TestTelemetryPathZeroAlloc(t *testing.T) {
+	rec := New(Config{Workers: 4, TraceCapacity: 1024})
+	trace := NewTraceID()
+	tagged := rec.WithTrace(trace)
+	h := rec.Histogram("graftmatch_tel_ns", "")
+	info := ReqInfo{ID: "deadbeef", Endpoint: "/match", State: "received"}
+	start := time.Now()
+	allocs := testing.AllocsPerRun(200, func() {
+		tagged.Span("core", "phase", start, time.Millisecond, 7)
+		h.ObserveEx(1, 123, trace)
+		tok := rec.ReqBegin(info)
+		rec.ReqState(tok, "running")
+		rec.ReqEnd(tok)
+	})
+	if allocs != 0 {
+		t.Errorf("live recorder telemetry path: %v allocs/op, want 0", allocs)
+	}
+
+	var nop *Recorder
+	nopTagged := nop.WithTrace(trace)
+	nh := nop.Histogram("graftmatch_tel_ns", "")
+	allocs = testing.AllocsPerRun(200, func() {
+		nopTagged.Span("core", "phase", start, time.Millisecond, 7)
+		nh.ObserveEx(1, 123, trace)
+		tok := nop.ReqBegin(info)
+		nop.ReqState(tok, "running")
+		nop.ReqEnd(tok)
+	})
+	if allocs != 0 {
+		t.Errorf("no-op recorder telemetry path: %v allocs/op, want 0", allocs)
+	}
+}
+
 func BenchmarkNoopRecorder(b *testing.B) {
 	var rec *Recorder
 	c := rec.Counter("graftmatch_x_total", "")

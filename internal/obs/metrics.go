@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // cell is one per-worker counter slot, padded to a full 64-byte cache line
@@ -58,6 +59,16 @@ func (c *Counter) Value() int64 {
 	return sum
 }
 
+// ValueAt returns worker slot w's contribution alone. The dist coordinator
+// indexes its per-rank counters by rank-as-worker-slot, so this is how the
+// /cluster surface reads one rank's share without a labelled metric per rank.
+func (c *Counter) ValueAt(w int) int64 {
+	if c == nil || len(c.cells) == 0 {
+		return 0
+	}
+	return c.cells[uint(w)%uint(len(c.cells))].n.Load()
+}
+
 // Gauge is a single instantaneous value (current phase, cardinality). Set
 // and Value are atomic; padding keeps a hot gauge off its neighbours' lines.
 type Gauge struct {
@@ -97,11 +108,27 @@ type histRow struct {
 	buckets [numBuckets]atomic.Int64
 }
 
+// exemplar is the most recent trace-tagged observation that landed in one
+// bucket: enough to jump from a latency bucket on /metrics to the matching
+// request trace on /trace.
+type exemplar struct {
+	value  int64
+	trace  uint64
+	unixNS int64
+}
+
 // Histogram is a per-worker power-of-two histogram (frontier sizes, fsync
 // latencies). Observe is wait-free on the worker's own row; snapshots fold
 // rows on read. A nil *Histogram is a valid no-op handle.
+//
+// Exemplars live beside the rows under their own mutex: only ObserveEx (one
+// call per served request, never a kernel hot path) touches it, so Observe
+// keeps its wait-free single-row contract.
 type Histogram struct {
 	rows []histRow
+
+	exMu sync.Mutex
+	ex   [numBuckets]exemplar
 }
 
 // bucketIndex maps a value to its power-of-two bucket.
@@ -129,12 +156,39 @@ func (h *Histogram) Observe(w int, v int64) {
 	r.buckets[bucketIndex(v)].Add(1)
 }
 
+// ObserveEx records one value like Observe and, when trace is nonzero,
+// remembers it as the bucket's exemplar so the exposition can link the
+// latency bucket to the request trace that produced it. Nil-safe.
+func (h *Histogram) ObserveEx(w int, v int64, trace uint64) {
+	if h == nil {
+		return
+	}
+	h.Observe(w, v)
+	if trace == 0 {
+		return
+	}
+	now := nowUnixNano()
+	b := bucketIndex(v)
+	h.exMu.Lock()
+	h.ex[b] = exemplar{value: v, trace: trace, unixNS: now}
+	h.exMu.Unlock()
+}
+
+// Exemplar is the JSON form of one bucket's retained exemplar.
+type Exemplar struct {
+	Bucket int    `json:"bucket"`
+	Value  int64  `json:"value"`
+	Trace  string `json:"trace"`
+	UnixNS int64  `json:"unix_ns"`
+}
+
 // HistSnapshot is a folded histogram: total count, sum, and the per-bucket
 // counts (non-cumulative; bucket i covers values of bit length i).
 type HistSnapshot struct {
-	Count   int64             `json:"count"`
-	Sum     int64             `json:"sum"`
-	Buckets [numBuckets]int64 `json:"buckets"`
+	Count     int64             `json:"count"`
+	Sum       int64             `json:"sum"`
+	Buckets   [numBuckets]int64 `json:"buckets"`
+	Exemplars []Exemplar        `json:"exemplars,omitempty"`
 }
 
 // snapshot folds all worker rows.
@@ -151,8 +205,21 @@ func (h *Histogram) snapshot() HistSnapshot {
 			s.Buckets[b] += r.buckets[b].Load()
 		}
 	}
+	h.exMu.Lock()
+	for b := 0; b < numBuckets; b++ {
+		if e := h.ex[b]; e.trace != 0 {
+			s.Exemplars = append(s.Exemplars, Exemplar{
+				Bucket: b, Value: e.value, Trace: TraceHex(e.trace), UnixNS: e.unixNS,
+			})
+		}
+	}
+	h.exMu.Unlock()
 	return s
 }
+
+// nowUnixNano is the single time dependency of the metrics layer, split out
+// so exemplar tests can pin timestamps.
+var nowUnixNano = func() int64 { return time.Now().UnixNano() }
 
 // bucketBound returns the inclusive upper bound of bucket i, or -1 for the
 // +Inf overflow bucket.
@@ -303,6 +370,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	for _, name := range sortedHistKeys(r.hists) {
 		s := r.hists[name].snapshot()
+		var exAt [numBuckets]*Exemplar
+		for i := range s.Exemplars {
+			exAt[s.Exemplars[i].Bucket] = &s.Exemplars[i]
+		}
 		buf = appendHeader(buf, name, r.help[name], "histogram")
 		cum := int64(0)
 		for b := 0; b < numBuckets; b++ {
@@ -319,6 +390,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			buf = append(buf, `"} `...)
 			buf = strconv.AppendInt(buf, cum, 10)
+			if e := exAt[b]; e != nil {
+				// OpenMetrics-style exemplar: ties the bucket to the last
+				// trace id observed in it, timestamped in seconds.
+				buf = append(buf, ` # {trace_id="`...)
+				buf = append(buf, e.Trace...)
+				buf = append(buf, `"} `...)
+				buf = strconv.AppendInt(buf, e.Value, 10)
+				buf = append(buf, ' ')
+				buf = strconv.AppendInt(buf, e.UnixNS/1e9, 10)
+			}
 			buf = append(buf, '\n')
 		}
 		buf = append(buf, name...)

@@ -1,8 +1,11 @@
 package obs
 
 import (
+	"hash/fnv"
+	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,6 +21,71 @@ type Config struct {
 	TraceCapacity int
 }
 
+// reqTableCap bounds the live-inflight request table served at /requests.
+// matchd's admission controller caps concurrency far below this; when the
+// table is somehow full ReqBegin returns token 0 and the request simply is
+// not tracked — tracking is best-effort, never back-pressure.
+const reqTableCap = 1024
+
+// ReqInfo is one in-flight request row on the /requests surface.
+type ReqInfo struct {
+	ID        string `json:"id"`
+	Trace     string `json:"trace"`
+	Endpoint  string `json:"endpoint"`
+	Instance  string `json:"instance,omitempty"`
+	Class     string `json:"class,omitempty"`
+	State     string `json:"state"`
+	StartedAt int64  `json:"started_at_unix_ns"`
+}
+
+// reqSlot is one slot of the inflight table; token 0 marks it free.
+type reqSlot struct {
+	token uint64
+	info  ReqInfo
+}
+
+// RankStatus is one rank's row in the cluster snapshot: liveness, the
+// handshake clock-offset estimate, and the per-rank counter shares the
+// coordinator reads out of its rank-indexed metric slots.
+type RankStatus struct {
+	Rank             int   `json:"rank"`
+	Alive            bool  `json:"alive"`
+	ClockOffsetNS    int64 `json:"clock_offset_ns"`
+	Reconnects       int64 `json:"reconnects"`
+	Deaths           int64 `json:"deaths"`
+	Retransmits      int64 `json:"retransmits"`
+	SpansIngested    int64 `json:"spans_ingested"`
+	SpansDropped     int64 `json:"spans_dropped"`
+	Steps            int64 `json:"steps"`
+	StepLatencySumNS int64 `json:"step_latency_sum_ns"`
+	StepLatencyMaxNS int64 `json:"step_latency_max_ns"`
+}
+
+// ClusterSnapshot is the /cluster surface: the run trace id plus one
+// RankStatus per rank, refreshed by the coordinator at phase boundaries and
+// recovery epochs.
+type ClusterSnapshot struct {
+	Trace      string       `json:"trace,omitempty"`
+	Epoch      int64        `json:"epoch"`
+	Supersteps int64        `json:"supersteps"`
+	Recoveries int64        `json:"recoveries"`
+	Ranks      []RankStatus `json:"ranks,omitempty"`
+	UpdatedAt  int64        `json:"updated_at_unix_ns,omitempty"`
+}
+
+// state is the mutable box behind a Recorder. It is held by pointer so that
+// WithTrace can return a shallow Recorder copy (same registry, tracer, and
+// state; different trace id) without copying a mutex.
+type state struct {
+	mu      sync.Mutex
+	status  RunStatus
+	cluster ClusterSnapshot
+
+	reqMu  sync.Mutex
+	reqSeq uint64
+	reqs   [reqTableCap]reqSlot
+}
+
 // Recorder is the hub the engines record into: a metrics registry, a span
 // tracer, and a run-status snapshot, plus pre-registered handles for the
 // cross-engine metrics (run gauges, checkpoint and supervision counters).
@@ -26,12 +94,15 @@ type Config struct {
 // recorder returns) degrades to a nil check, so instrumented engines run
 // allocation-free and effectively untaxed when nobody is observing. The
 // alloc tests in this package pin that property.
+//
+// A Recorder optionally carries a trace id: WithTrace derives a view that
+// stamps every Span with that id, which is how one matchd request's engine
+// phases stay correlatable on /trace.
 type Recorder struct {
 	reg    *Registry
 	tracer *Tracer
-
-	mu     sync.Mutex
-	status RunStatus
+	st     *state
+	trace  uint64
 
 	phaseG    *Gauge
 	cardG     *Gauge
@@ -51,6 +122,7 @@ func New(cfg Config) *Recorder {
 	r := &Recorder{
 		reg:    newRegistry(workers),
 		tracer: newTracer(cfg.TraceCapacity),
+		st:     &state{},
 	}
 	r.phaseG = r.reg.Gauge("graftmatch_run_phase", "current search phase of the live run")
 	r.cardG = r.reg.Gauge("graftmatch_run_cardinality", "matching cardinality after the last completed phase")
@@ -60,6 +132,64 @@ func New(cfg Config) *Recorder {
 	r.ckptBytes = r.reg.Counter("graftmatch_checkpoint_bytes_total", "checkpoint bytes written")
 	r.ckptFsync = r.reg.Histogram("graftmatch_checkpoint_fsync_ns", "checkpoint fsync latency in nanoseconds")
 	return r
+}
+
+// traceSeq disambiguates trace ids minted within the same clock tick.
+var traceSeq atomic.Uint64
+
+// NewTraceID mints a nonzero 64-bit trace id: the wall clock, the pid, and a
+// process-local sequence mixed through splitmix64. Not cryptographic — it
+// only needs to be unique enough to correlate spans and log lines.
+func NewTraceID() uint64 {
+	x := uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32 ^ traceSeq.Add(1)
+	// splitmix64 finalizer
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+// TraceHex renders a trace id in its canonical 16-hex form — the same text
+// matchd returns in X-Request-Id and /trace embeds in span args.
+func TraceHex(trace uint64) string {
+	return string(appendTraceHex(make([]byte, 0, 16), trace))
+}
+
+// HashTrace folds an externally supplied request id (a client's
+// X-Request-Id) into a nonzero trace id via FNV-64a, so foreign ids
+// correlate spans without being trusted as raw integers.
+func HashTrace(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	v := h.Sum64()
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// WithTrace returns a view of the recorder whose Spans are stamped with
+// trace. The view shares the registry, tracer, status, and handles; only the
+// stamp differs. Nil recorder and zero trace both return the receiver.
+func (r *Recorder) WithTrace(trace uint64) *Recorder {
+	if r == nil || trace == 0 || trace == r.trace {
+		return r
+	}
+	child := *r
+	child.trace = trace
+	return &child
+}
+
+// Trace returns the trace id this recorder view stamps (0 = untagged).
+func (r *Recorder) Trace() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.trace
 }
 
 // Workers returns the per-worker slot count metrics were sized for (0 for a
@@ -113,14 +243,137 @@ func (r *Recorder) Tracer() *Tracer {
 	return r.tracer
 }
 
-// Span records one completed phase/step/superstep interval. Nil-safe,
-// allocation-free, intended for driver goroutines at phase granularity —
-// never per edge or per vertex.
+// Span records one completed phase/step/superstep interval, stamped with the
+// recorder's trace id. Nil-safe, allocation-free, intended for driver
+// goroutines at phase granularity — never per edge or per vertex.
 func (r *Recorder) Span(cat, name string, start time.Time, d time.Duration, arg int64) {
 	if r == nil {
 		return
 	}
-	r.tracer.Record(cat, name, start, d, arg)
+	r.tracer.RecordTagged(cat, name, start, d, arg, r.trace)
+}
+
+// SetCluster publishes a fresh cluster snapshot for the /cluster surface.
+func (r *Recorder) SetCluster(cs ClusterSnapshot) {
+	if r == nil {
+		return
+	}
+	r.st.mu.Lock()
+	r.st.cluster = cs
+	r.st.mu.Unlock()
+}
+
+// Cluster returns the last published cluster snapshot (zero value on a nil
+// recorder or a single-process run).
+func (r *Recorder) Cluster() ClusterSnapshot {
+	if r == nil {
+		return ClusterSnapshot{}
+	}
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	return r.st.cluster
+}
+
+// ReqBegin registers an in-flight request and returns its table token.
+// Token 0 (nil recorder or full table) means "not tracked" and is accepted
+// by ReqState/ReqEnd as a no-op, so callers never branch.
+func (r *Recorder) ReqBegin(info ReqInfo) uint64 {
+	if r == nil {
+		return 0
+	}
+	st := r.st
+	st.reqMu.Lock()
+	defer st.reqMu.Unlock()
+	for i := range st.reqs {
+		if st.reqs[i].token != 0 {
+			continue
+		}
+		st.reqSeq++
+		if st.reqSeq == 0 {
+			st.reqSeq = 1
+		}
+		st.reqs[i].token = st.reqSeq
+		st.reqs[i].info = info
+		return st.reqSeq
+	}
+	return 0
+}
+
+// ReqState updates the tracked request's state label ("admitted",
+// "running", "degraded", ...). No-op for token 0 or a reclaimed slot.
+func (r *Recorder) ReqState(token uint64, state string) {
+	if r == nil || token == 0 {
+		return
+	}
+	st := r.st
+	st.reqMu.Lock()
+	for i := range st.reqs {
+		if st.reqs[i].token == token {
+			st.reqs[i].info.State = state
+			break
+		}
+	}
+	st.reqMu.Unlock()
+}
+
+// ReqTag attaches the instance/size-class labels once the request body has
+// been decoded. No-op for token 0.
+func (r *Recorder) ReqTag(token uint64, instance, class string) {
+	if r == nil || token == 0 {
+		return
+	}
+	st := r.st
+	st.reqMu.Lock()
+	for i := range st.reqs {
+		if st.reqs[i].token == token {
+			if instance != "" {
+				st.reqs[i].info.Instance = instance
+			}
+			if class != "" {
+				st.reqs[i].info.Class = class
+			}
+			break
+		}
+	}
+	st.reqMu.Unlock()
+}
+
+// ReqEnd releases the tracked request's slot. No-op for token 0.
+func (r *Recorder) ReqEnd(token uint64) {
+	if r == nil || token == 0 {
+		return
+	}
+	st := r.st
+	st.reqMu.Lock()
+	for i := range st.reqs {
+		if st.reqs[i].token == token {
+			st.reqs[i] = reqSlot{}
+			break
+		}
+	}
+	st.reqMu.Unlock()
+}
+
+// Requests returns a copy of the live in-flight request table, oldest first.
+func (r *Recorder) Requests() []ReqInfo {
+	if r == nil {
+		return nil
+	}
+	st := r.st
+	st.reqMu.Lock()
+	out := make([]ReqInfo, 0, 16)
+	for i := range st.reqs {
+		if st.reqs[i].token != 0 {
+			out = append(out, st.reqs[i].info)
+		}
+	}
+	st.reqMu.Unlock()
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].StartedAt < out[j-1].StartedAt; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
 }
 
 // RunStatus is the live status snapshot served at /status.
@@ -146,9 +399,9 @@ func (r *Recorder) Status() RunStatus {
 	if r == nil {
 		return RunStatus{}
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.status
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	return r.st.status
 }
 
 // SetGraph records the instance dimensions for the status surface.
@@ -156,9 +409,9 @@ func (r *Recorder) SetGraph(rows, cols, edges int64) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.status.GraphRows, r.status.GraphCols, r.status.GraphEdges = rows, cols, edges
-	r.mu.Unlock()
+	r.st.mu.Lock()
+	r.st.status.GraphRows, r.st.status.GraphCols, r.st.status.GraphEdges = rows, cols, edges
+	r.st.mu.Unlock()
 }
 
 // RunStart marks the beginning of a run on the status surface and resets
@@ -168,14 +421,14 @@ func (r *Recorder) RunStart(algorithm string) {
 		return
 	}
 	now := time.Now().UnixNano()
-	r.mu.Lock()
-	r.status.Algorithm = algorithm
-	r.status.Running = true
-	r.status.Complete = false
-	r.status.Phase = 0
-	r.status.StartedAt = now
-	r.status.UpdatedAt = now
-	r.mu.Unlock()
+	r.st.mu.Lock()
+	r.st.status.Algorithm = algorithm
+	r.st.status.Running = true
+	r.st.status.Complete = false
+	r.st.status.Phase = 0
+	r.st.status.StartedAt = now
+	r.st.status.UpdatedAt = now
+	r.st.mu.Unlock()
 	r.phaseG.Set(0)
 	r.completeG.Set(0)
 }
@@ -187,14 +440,14 @@ func (r *Recorder) PhaseDone(engine string, phase, cardinality int64) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
+	r.st.mu.Lock()
 	if engine != "" {
-		r.status.Algorithm = engine
+		r.st.status.Algorithm = engine
 	}
-	r.status.Phase = phase
-	r.status.Cardinality = cardinality
-	r.status.UpdatedAt = time.Now().UnixNano()
-	r.mu.Unlock()
+	r.st.status.Phase = phase
+	r.st.status.Cardinality = cardinality
+	r.st.status.UpdatedAt = time.Now().UnixNano()
+	r.st.mu.Unlock()
 	r.phaseG.Set(phase)
 	r.cardG.Set(cardinality)
 }
@@ -204,12 +457,12 @@ func (r *Recorder) RunDone(complete bool, cardinality int64) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.status.Running = false
-	r.status.Complete = complete
-	r.status.Cardinality = cardinality
-	r.status.UpdatedAt = time.Now().UnixNano()
-	r.mu.Unlock()
+	r.st.mu.Lock()
+	r.st.status.Running = false
+	r.st.status.Complete = complete
+	r.st.status.Cardinality = cardinality
+	r.st.status.UpdatedAt = time.Now().UnixNano()
+	r.st.mu.Unlock()
 	r.cardG.Set(cardinality)
 	if complete {
 		r.completeG.Set(1)
@@ -221,11 +474,11 @@ func (r *Recorder) RungStart(rung string) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.status.Rung = rung
-	r.status.RungOutcome = ""
-	r.status.UpdatedAt = time.Now().UnixNano()
-	r.mu.Unlock()
+	r.st.mu.Lock()
+	r.st.status.Rung = rung
+	r.st.status.RungOutcome = ""
+	r.st.status.UpdatedAt = time.Now().UnixNano()
+	r.st.mu.Unlock()
 	r.rungC.Add(0, 1)
 }
 
@@ -234,11 +487,11 @@ func (r *Recorder) RungEnd(rung, outcome string) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.status.Rung = rung
-	r.status.RungOutcome = outcome
-	r.status.UpdatedAt = time.Now().UnixNano()
-	r.mu.Unlock()
+	r.st.mu.Lock()
+	r.st.status.Rung = rung
+	r.st.status.RungOutcome = outcome
+	r.st.status.UpdatedAt = time.Now().UnixNano()
+	r.st.mu.Unlock()
 }
 
 // CheckpointSaved records one durable snapshot: its path on the status
@@ -247,10 +500,10 @@ func (r *Recorder) CheckpointSaved(path string, bytes int64, fsync time.Duration
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.status.LastCheckpoint = path
-	r.status.UpdatedAt = time.Now().UnixNano()
-	r.mu.Unlock()
+	r.st.mu.Lock()
+	r.st.status.LastCheckpoint = path
+	r.st.status.UpdatedAt = time.Now().UnixNano()
+	r.st.mu.Unlock()
 	r.ckptC.Add(0, 1)
 	r.ckptBytes.Add(0, bytes)
 	r.ckptFsync.Observe(0, int64(fsync))

@@ -160,7 +160,7 @@ func TestHandlerEndpoints(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &ct); err != nil {
 		t.Fatalf("/trace invalid: %v", err)
 	}
-	if len(ct.TraceEvents) != 1 || ct.TraceEvents[0].Cat != "core" {
+	if evs := spanEvents(ct); len(evs) != 1 || evs[0].Cat != "core" {
 		t.Errorf("/trace events = %+v", ct.TraceEvents)
 	}
 

@@ -13,12 +13,20 @@ import (
 // the span kind within the emitter ("phase", "top-down", "superstep", ...);
 // Arg carries one span-specific magnitude (frontier size, cardinality,
 // bytes) surfaced in the Chrome trace's args.
+//
+// Lane and Trace carry the cross-process dimensions: Lane 0 is the local
+// process, lane k>0 is remote rank k-1 (spans shipped by a cluster worker
+// and ingested by the coordinator land on their rank's lane, which becomes
+// a separate process row in the Chrome trace); Trace is the run/request
+// correlation id (0 = untagged).
 type Span struct {
 	Cat   string
 	Name  string
 	Start int64 // nanoseconds since the Unix epoch
 	Dur   int64 // nanoseconds
 	Arg   int64
+	Lane  int32  // 0 = local process; k>0 = remote rank k-1
+	Trace uint64 // run/request correlation id; 0 = none
 }
 
 // Tracer records spans into a bounded ring buffer: the newest TraceCapacity
@@ -26,10 +34,11 @@ type Span struct {
 // is a mutex-guarded struct store — no allocation — and happens once per
 // phase/step on driver goroutines, so the lock is uncontended in practice.
 type Tracer struct {
-	mu    sync.Mutex
-	ring  []Span
-	next  int
-	total uint64
+	mu      sync.Mutex
+	ring    []Span
+	next    int
+	total   uint64
+	shipped uint64 // drain cursor: spans already taken by DrainInto
 }
 
 // newTracer builds a tracer with capacity spans of history.
@@ -45,14 +54,75 @@ func (t *Tracer) Record(cat, name string, start time.Time, d time.Duration, arg 
 	if t == nil {
 		return
 	}
+	t.put(Span{Cat: cat, Name: name, Start: start.UnixNano(), Dur: int64(d), Arg: arg})
+}
+
+// RecordTagged stores one completed span carrying the trace correlation id.
+// Nil-safe and allocation-free.
+func (t *Tracer) RecordTagged(cat, name string, start time.Time, d time.Duration, arg int64, trace uint64) {
+	if t == nil {
+		return
+	}
+	t.put(Span{Cat: cat, Name: name, Start: start.UnixNano(), Dur: int64(d), Arg: arg, Trace: trace})
+}
+
+// Ingest appends pre-built spans — typically shipped from a remote rank,
+// with Lane set and Start already clock-adjusted by the caller. Nil-safe.
+func (t *Tracer) Ingest(spans []Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
 	t.mu.Lock()
-	t.ring[t.next] = Span{Cat: cat, Name: name, Start: start.UnixNano(), Dur: int64(d), Arg: arg}
+	for i := range spans {
+		t.putLocked(spans[i])
+	}
+	t.mu.Unlock()
+}
+
+func (t *Tracer) put(s Span) {
+	t.mu.Lock()
+	t.putLocked(s)
+	t.mu.Unlock()
+}
+
+func (t *Tracer) putLocked(s Span) {
+	t.ring[t.next] = s
 	t.next++
 	if t.next == len(t.ring) {
 		t.next = 0
 	}
 	t.total++
-	t.mu.Unlock()
+}
+
+// DrainInto copies spans recorded since the last drain into dst, advancing
+// the drain cursor, and reports how many were copied plus how many pending
+// spans were lost — either overwritten by the ring before the drain arrived
+// or skipped because more than len(dst) were pending (drop-oldest: the
+// newest spans always win). Allocation-free; telemetry shippers call it at
+// superstep boundaries with a reused scratch slice.
+func (t *Tracer) DrainInto(dst []Span) (n int, dropped uint64) {
+	if t == nil || len(dst) == 0 {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	from := t.shipped
+	// Spans older than total-len(ring) are already overwritten.
+	if ringCap := uint64(len(t.ring)); t.total > ringCap && from < t.total-ringCap {
+		dropped += t.total - ringCap - from
+		from = t.total - ringCap
+	}
+	// Drop-oldest down to what dst can carry.
+	if pending := t.total - from; pending > uint64(len(dst)) {
+		dropped += pending - uint64(len(dst))
+		from = t.total - uint64(len(dst))
+	}
+	for i := from; i < t.total; i++ {
+		dst[n] = t.ring[i%uint64(len(t.ring))]
+		n++
+	}
+	t.shipped = t.total
+	return n, dropped
 }
 
 // Snapshot returns the retained spans in recording order and the number of
@@ -79,23 +149,33 @@ func (t *Tracer) Snapshot() (spans []Span, dropped uint64) {
 // (the {"traceEvents": [...]} object form), loadable in about://tracing and
 // Perfetto. Every span becomes one complete event ("ph":"X") with
 // microsecond timestamps relative to the earliest span; categories map to
-// stable tids so each emitter gets its own track.
+// stable tids so each emitter gets its own track, and lanes map to pids so
+// every remote rank renders as its own process row ("rank k" process_name
+// metadata) beside the local process. Spans tagged with a trace id carry it
+// in args as a 16-hex string, the same form matchd returns in X-Request-Id.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	spans, dropped := t.Snapshot()
 
 	// Stable per-category track ids, assigned in sorted-category order.
 	cats := make([]string, 0, 8)
 	seen := make(map[string]int, 8)
+	lanes := make(map[int32]bool, 8)
 	for i := range spans {
 		if _, ok := seen[spans[i].Cat]; !ok {
 			seen[spans[i].Cat] = 0
 			cats = append(cats, spans[i].Cat)
 		}
+		lanes[spans[i].Lane] = true
 	}
 	sort.Strings(cats)
 	for i, c := range cats {
 		seen[c] = i + 1
 	}
+	laneIDs := make([]int32, 0, len(lanes))
+	for l := range lanes {
+		laneIDs = append(laneIDs, l)
+	}
+	sort.Slice(laneIDs, func(i, j int) bool { return laneIDs[i] < laneIDs[j] })
 	var t0 int64
 	for i := range spans {
 		if i == 0 || spans[i].Start < t0 {
@@ -108,11 +188,30 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	buf = strconv.AppendUint(buf, dropped, 10)
 	buf = append(buf, `,"traceEvents":[`...)
 	var err error
-	for i := range spans {
-		s := &spans[i]
-		if i > 0 {
+	first := true
+	// Process-name metadata first: lane 0 is this process, lane k is rank k-1.
+	for _, l := range laneIDs {
+		if !first {
 			buf = append(buf, ',')
 		}
+		first = false
+		buf = append(buf, `{"name":"process_name","ph":"M","pid":`...)
+		buf = strconv.AppendInt(buf, int64(l)+1, 10)
+		buf = append(buf, `,"args":{"name":"`...)
+		if l == 0 {
+			buf = append(buf, `local`...)
+		} else {
+			buf = append(buf, `rank `...)
+			buf = strconv.AppendInt(buf, int64(l)-1, 10)
+		}
+		buf = append(buf, `"}}`...)
+	}
+	for i := range spans {
+		s := &spans[i]
+		if !first {
+			buf = append(buf, ',')
+		}
+		first = false
 		buf = append(buf, `{"name":`...)
 		buf = appendJSONString(buf, s.Name)
 		buf = append(buf, `,"cat":`...)
@@ -121,10 +220,17 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		buf = appendMicros(buf, s.Start-t0)
 		buf = append(buf, `,"dur":`...)
 		buf = appendMicros(buf, s.Dur)
-		buf = append(buf, `,"pid":1,"tid":`...)
+		buf = append(buf, `,"pid":`...)
+		buf = strconv.AppendInt(buf, int64(s.Lane)+1, 10)
+		buf = append(buf, `,"tid":`...)
 		buf = strconv.AppendInt(buf, int64(seen[s.Cat]), 10)
 		buf = append(buf, `,"args":{"v":`...)
 		buf = strconv.AppendInt(buf, s.Arg, 10)
+		if s.Trace != 0 {
+			buf = append(buf, `,"trace":"`...)
+			buf = appendTraceHex(buf, s.Trace)
+			buf = append(buf, '"')
+		}
 		buf = append(buf, `}}`...)
 		if len(buf) >= 1<<15 {
 			if _, err = w.Write(buf); err != nil {
@@ -137,6 +243,16 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	buf = append(buf, '\n')
 	_, err = w.Write(buf)
 	return err
+}
+
+// appendTraceHex appends the fixed-width 16-hex form of a trace id — the
+// same textual form TraceHex returns and matchd sets in X-Request-Id.
+func appendTraceHex(buf []byte, trace uint64) []byte {
+	const hex = "0123456789abcdef"
+	for shift := 60; shift >= 0; shift -= 4 {
+		buf = append(buf, hex[(trace>>uint(shift))&0xf])
+	}
+	return buf
 }
 
 // appendMicros appends ns as a decimal microsecond value with millisecond

@@ -48,14 +48,26 @@ type chromeTrace struct {
 }
 
 type chromeEvent struct {
-	Name string           `json:"name"`
-	Cat  string           `json:"cat"`
-	Ph   string           `json:"ph"`
-	Ts   float64          `json:"ts"`
-	Dur  float64          `json:"dur"`
-	Pid  int              `json:"pid"`
-	Tid  int              `json:"tid"`
-	Args map[string]int64 `json:"args"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// spanEvents filters out the "M" process_name metadata rows, leaving the
+// complete ("X") span events.
+func spanEvents(ct chromeTrace) []chromeEvent {
+	out := ct.TraceEvents[:0:0]
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph != "M" {
+			out = append(out, ev)
+		}
+	}
+	return out
 }
 
 func TestChromeTraceJSONSchema(t *testing.T) {
@@ -73,13 +85,17 @@ func TestChromeTraceJSONSchema(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
 		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
 	}
-	if len(ct.TraceEvents) != 3 {
-		t.Fatalf("got %d events, want 3", len(ct.TraceEvents))
+	events := spanEvents(ct)
+	if len(events) != 3 {
+		t.Fatalf("got %d span events, want 3", len(events))
 	}
 	tidOf := map[string]int{}
-	for _, ev := range ct.TraceEvents {
+	for _, ev := range events {
 		if ev.Ph != "X" {
 			t.Errorf("event %q ph = %q, want X (complete event)", ev.Name, ev.Ph)
+		}
+		if ev.Pid != 1 {
+			t.Errorf("local event %q pid = %d, want 1 (lane 0)", ev.Name, ev.Pid)
 		}
 		if ev.Ts < 0 || ev.Dur <= 0 {
 			t.Errorf("event %q ts=%v dur=%v", ev.Name, ev.Ts, ev.Dur)
@@ -97,7 +113,7 @@ func TestChromeTraceJSONSchema(t *testing.T) {
 	}
 	// Timestamps are relative to the earliest span, in microseconds.
 	var sawSave bool
-	for _, ev := range ct.TraceEvents {
+	for _, ev := range events {
 		if ev.Name == "save" {
 			sawSave = true
 			if ev.Ts != 1000 {

@@ -66,6 +66,12 @@ type Config struct {
 	// engine under it, and backs the mounted observability endpoints.
 	// Nil builds a live one.
 	Recorder *obs.Recorder
+
+	// Log, when non-nil, receives one structured JSON line per request:
+	// id, trace, method, path, status, duration, and an event marker on
+	// shed/panic outcomes. matchd passes stdout; nil disables request
+	// logging.
+	Log io.Writer
 }
 
 // serveMetrics are the daemon's own counters, next to the engines' metrics
@@ -101,6 +107,37 @@ type Server struct {
 	draining  bool
 	inflight  sync.WaitGroup
 	nInflight atomic.Int64
+
+	logMu sync.Mutex // serializes request-log lines
+}
+
+// reqCtx is the per-request telemetry context the request-id middleware
+// threads through the handler chain: the correlation id (echoed in
+// X-Request-Id), its numeric trace form (stamped on every span the request
+// produces), the /requests table token, and the outcome marker the guard and
+// failure paths fill in for the request log.
+type reqCtx struct {
+	id    string
+	trace uint64
+	token uint64
+	event string // "" | "shed" | "panic" | "draining"
+}
+
+type reqCtxKey struct{}
+
+// reqFromCtx returns the request's telemetry context, or nil outside the
+// middleware (direct handler tests).
+func reqFromCtx(ctx context.Context) *reqCtx {
+	rc, _ := ctx.Value(reqCtxKey{}).(*reqCtx)
+	return rc
+}
+
+// traceOf is the span stamp for a request context (0 when untracked).
+func traceOf(rc *reqCtx) uint64 {
+	if rc == nil {
+		return 0
+	}
+	return rc.trace
 }
 
 // NewServer assembles the daemon core from cfg.
@@ -182,8 +219,115 @@ func (s *Server) restoreLastGood() {
 //	GET  /healthz    liveness (200 while the process runs)
 //	GET  /readyz     readiness (503 once draining)
 //	GET  /metrics …  the internal/obs surface (/metrics, /status, /trace,
-//	                 /debug/pprof, …) of the server's Recorder
-func (s *Server) Handler() http.Handler { return s.mux }
+//	                 /cluster, /requests, /debug/pprof, …) of the Recorder
+//
+// Every response — including 429/500 error paths — carries an X-Request-Id
+// header: the inbound header when the client supplied one, a minted 16-hex
+// trace id otherwise. Minted ids appear verbatim in /trace span args.
+func (s *Server) Handler() http.Handler { return s.withRequestID(s.mux) }
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// sanitizeRequestID accepts a client-supplied id only if it is short and
+// printable ASCII — anything else is replaced by a minted id rather than
+// echoed into headers and logs.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 128 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			return ""
+		}
+	}
+	return id
+}
+
+// tracked reports whether a path belongs on the /requests inflight table:
+// the compute endpoints, not scrapes of the observability plane.
+func tracked(path string) bool {
+	switch path {
+	case "/match", "/verify", "/decompose", "/btfsolve":
+		return true
+	}
+	return false
+}
+
+// withRequestID is the outermost middleware: it resolves the request's
+// correlation id (honoring a sane inbound X-Request-Id, minting otherwise),
+// sets the response header before any handler can commit a status, registers
+// compute requests on the /requests table, and emits the request log line.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rc := &reqCtx{}
+		if id := sanitizeRequestID(r.Header.Get("X-Request-Id")); id != "" {
+			rc.id = id
+			rc.trace = obs.HashTrace(id)
+		} else {
+			rc.trace = obs.NewTraceID()
+			rc.id = obs.TraceHex(rc.trace)
+		}
+		// Set up front so every outcome — success, shed, panic — carries it.
+		w.Header().Set("X-Request-Id", rc.id)
+		start := time.Now()
+		if tracked(r.URL.Path) {
+			rc.token = s.rec.ReqBegin(obs.ReqInfo{
+				ID:        rc.id,
+				Trace:     obs.TraceHex(rc.trace),
+				Endpoint:  r.URL.Path,
+				State:     "received",
+				StartedAt: start.UnixNano(),
+			})
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqCtxKey{}, rc)))
+		s.rec.ReqEnd(rc.token)
+		s.logRequest(rc, r, sw.status, time.Since(start))
+	})
+}
+
+// logRequest emits the one structured line per request, if logging is on.
+func (s *Server) logRequest(rc *reqCtx, r *http.Request, status int, d time.Duration) {
+	if s.cfg.Log == nil {
+		return
+	}
+	line := struct {
+		TS     string  `json:"ts"`
+		ID     string  `json:"id"`
+		Trace  string  `json:"trace"`
+		Method string  `json:"method"`
+		Path   string  `json:"path"`
+		Status int     `json:"status"`
+		MS     float64 `json:"ms"`
+		Event  string  `json:"event,omitempty"`
+	}{
+		TS:     time.Now().UTC().Format(time.RFC3339Nano),
+		ID:     rc.id,
+		Trace:  obs.TraceHex(rc.trace),
+		Method: r.Method,
+		Path:   r.URL.Path,
+		Status: status,
+		MS:     float64(d.Microseconds()) / 1e3,
+		Event:  rc.event,
+	}
+	buf, err := json.Marshal(&line)
+	if err != nil {
+		return
+	}
+	buf = append(buf, '\n')
+	s.logMu.Lock()
+	_, _ = s.cfg.Log.Write(buf)
+	s.logMu.Unlock()
+}
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("/match", s.guard(s.handleMatch))
@@ -207,7 +351,7 @@ func (s *Server) routes() {
 	// listener serves both planes.
 	obsH := obs.Handler(s.rec)
 	for _, p := range []string{
-		"/metrics", "/metrics.json", "/status",
+		"/metrics", "/metrics.json", "/status", "/cluster", "/requests",
 		"/trace", "/trace/summary", "/debug/",
 	} {
 		s.mux.Handle(p, obsH)
@@ -220,12 +364,16 @@ func (s *Server) routes() {
 // containment — a panicking handler answers 500 and the daemon lives on.
 func (s *Server) guard(h func(http.ResponseWriter, *http.Request, *Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		rc := reqFromCtx(r.Context())
 		// Add-before-check under the lock pairs with Drain's
 		// set-then-wait: a request either sees draining and bounces, or
 		// is inside the WaitGroup before Drain starts waiting.
 		s.mu.Lock()
 		if s.draining {
 			s.mu.Unlock()
+			if rc != nil {
+				rc.event = "draining"
+			}
 			writeError(w, http.StatusServiceUnavailable, "draining", 0)
 			return
 		}
@@ -238,8 +386,11 @@ func (s *Server) guard(h func(http.ResponseWriter, *http.Request, *Request)) htt
 		start := time.Now()
 		defer func() {
 			if p := recover(); p != nil {
+				if rc != nil {
+					rc.event = "panic"
+				}
 				s.met.panics.Add(0, 1)
-				s.rec.Tracer().Record("serve", "panic", start, time.Since(start), 0)
+				s.rec.Tracer().RecordTagged("serve", "panic", start, time.Since(start), 0, traceOf(rc))
 				writeError(w, http.StatusInternalServerError,
 					fmt.Sprintf("internal panic: %v", p), 0)
 			}
@@ -258,6 +409,10 @@ func (s *Server) guard(h func(http.ResponseWriter, *http.Request, *Request)) htt
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error(), 0)
 			return
+		}
+		if rc != nil {
+			s.rec.ReqTag(rc.token, req.Instance, req.Class)
+			s.rec.ReqState(rc.token, "decoded")
 		}
 		h(w, r, req)
 	}
@@ -304,7 +459,9 @@ func (s *Server) Drain(ctx context.Context) error {
 func (s *Server) run(ctx context.Context, ins *Instance, req *Request, deadline time.Time) (*graftmatch.Result, error) {
 	opts := req.Options()
 	opts.Scheduler = s.pool
-	opts.Recorder = s.rec
+	// The traced view stamps the request's trace id on every engine phase
+	// span, tying the computation on /trace back to this X-Request-Id.
+	opts.Recorder = s.rec.WithTrace(traceOf(reqFromCtx(ctx)))
 	opts.Deadline = deadline
 	opts.Supervise = s.cfg.Supervise
 	if opts.Threads == 0 {
@@ -348,6 +505,8 @@ type matchOutcome struct {
 // a usable outcome; a non-nil error is terminal (shed, bad request, or no
 // answer of any kind available in time).
 func (s *Server) getMatch(ctx context.Context, ins *Instance, req *Request, deadline time.Time) (*matchOutcome, error) {
+	rc := reqFromCtx(ctx)
+	rec := s.rec.WithTrace(traceOf(rc))
 	key := cacheKey{
 		fp:   ins.Fingerprint,
 		alg:  algorithmByName[strings.ToLower(req.Algorithm)],
@@ -358,43 +517,57 @@ func (s *Server) getMatch(ctx context.Context, ins *Instance, req *Request, dead
 	var fl *flight
 	leader := true
 	if !req.NoCache {
+		cacheStart := time.Now()
 		var cached *graftmatch.Result
 		cached, fl, leader = s.cache.begin(key)
 		if cached != nil {
 			s.met.cacheHit.Add(0, 1)
+			rec.Span("request", "cache-hit", cacheStart, time.Since(cacheStart), 0)
 			return &matchOutcome{res: cached, source: "cache"}, nil
 		}
 		if !leader {
 			// Join the in-flight computation, bounded by our own
 			// deadline — a follower never waits past it just because
 			// the leader's budget is larger.
+			if rc != nil {
+				s.rec.ReqState(rc.token, "joined")
+			}
 			select {
 			case <-fl.done:
 				if fl.res != nil {
 					s.met.cacheHit.Add(0, 1)
+					rec.Span("request", "inflight-join", cacheStart, time.Since(cacheStart), 0)
 					return &matchOutcome{res: fl.res, source: "inflight"}, nil
 				}
 				// Leader finished without a complete result; fall
 				// through and compute with our remaining budget.
 			case <-ctx.Done():
-				return s.degrade(ins, nil)
+				return s.degrade(ctx, ins, nil)
 			}
 		}
 	}
 
+	if rc != nil {
+		s.rec.ReqState(rc.token, "queued")
+	}
+	admStart := time.Now()
 	release, err := s.adm.Admit(ctx, req.Class, deadline)
+	rec.Span("request", "admission-wait", admStart, time.Since(admStart), 0)
 	if err != nil {
 		if leader && fl != nil {
 			s.cache.finish(key, fl, nil)
 		}
 		if ctx.Err() != nil && err == ctx.Err() {
 			// Deadline expired while queued: degrade rather than error.
-			out, derr := s.degrade(ins, nil)
+			out, derr := s.degrade(ctx, ins, nil)
 			if derr == nil {
 				return out, nil
 			}
 		}
 		return nil, err
+	}
+	if rc != nil {
+		s.rec.ReqState(rc.token, "running")
 	}
 	res, err := s.run(ctx, ins, req, deadline)
 	release()
@@ -405,7 +578,7 @@ func (s *Server) getMatch(ctx context.Context, ins *Instance, req *Request, dead
 		// A real engine failure (e.g. a contained worker panic): the
 		// last-good floor is the difference between an error page and a
 		// degraded answer.
-		return s.degrade(ins, err)
+		return s.degrade(ctx, ins, err)
 	}
 	if res.Complete {
 		return &matchOutcome{res: res, source: "computed"}, nil
@@ -423,8 +596,11 @@ func (s *Server) getMatch(ctx context.Context, ins *Instance, req *Request, dead
 
 // degrade answers from the last-good floor, or reports cause (or a generic
 // timeout) when no floor exists.
-func (s *Server) degrade(ins *Instance, cause error) (*matchOutcome, error) {
+func (s *Server) degrade(ctx context.Context, ins *Instance, cause error) (*matchOutcome, error) {
 	if lg, ok := s.cache.getLastGood(ins.Name); ok {
+		if rc := reqFromCtx(ctx); rc != nil {
+			s.rec.ReqState(rc.token, "degraded")
+		}
 		s.met.degraded.Add(0, 1)
 		return &matchOutcome{lastGood: lg, source: "last-good", degraded: true}, nil
 	}
@@ -449,11 +625,12 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request, req *Reques
 
 	out, err := s.getMatch(ctx, ins, req, deadline)
 	if err != nil {
-		s.writeFailure(w, err)
+		s.writeFailure(w, r, err)
 		return
 	}
 	s.met.requests.Add(0, 1)
-	s.met.latency.Observe(0, time.Since(start).Microseconds())
+	// Exemplar links this latency bucket to the request's trace on /trace.
+	s.met.latency.ObserveEx(0, time.Since(start).Microseconds(), traceOf(reqFromCtx(r.Context())))
 	writeJSON(w, http.StatusOK, s.matchResponse(ins, req, out, time.Since(start)))
 }
 
@@ -525,7 +702,7 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request, req *Re
 
 	out, err := s.getMatch(ctx, ins, req, deadline)
 	if err != nil {
-		s.writeFailure(w, err)
+		s.writeFailure(w, r, err)
 		return
 	}
 	mateX, mateY, complete := outcomeMates(out)
@@ -688,10 +865,14 @@ func outcomeMates(out *matchOutcome) (mateX, mateY []int32, complete bool) {
 }
 
 // writeFailure maps a pipeline error onto the wire: shed → 429 with
-// Retry-After, validation → 400, everything else → 500.
-func (s *Server) writeFailure(w http.ResponseWriter, err error) {
+// Retry-After, validation → 400, everything else → 500. The shed path marks
+// the request log line so a 429'd client's retries stay correlatable.
+func (s *Server) writeFailure(w http.ResponseWriter, r *http.Request, err error) {
 	switch e := err.(type) {
 	case *ShedError:
+		if rc := reqFromCtx(r.Context()); rc != nil {
+			rc.event = "shed"
+		}
 		s.met.shed.Add(0, 1)
 		retry := e.RetryAfter
 		if retry < time.Second {

@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"graftmatch/internal/obs"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing request log
+// lines written from handler goroutines.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+// isHex16 reports whether s is a 16-char lowercase hex string — the shape of
+// every minted request id (it is the trace id's hex form, verbatim).
+func isHex16(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRequestIDOnAllResponses pins the correlation contract: every response
+// — success, client error, load shed, panic — carries an X-Request-Id
+// header; a sane inbound id is echoed back, anything else gets a minted id.
+func TestRequestIDOnAllResponses(t *testing.T) {
+	logBuf := &syncBuffer{}
+	s, ts := newTestServer(t, Config{
+		Admission: AdmissionConfig{InteractiveSlots: 1, MaxQueue: 1},
+		Log:       logBuf,
+	}, smallRegistry(t))
+
+	// Success: minted id, 16-hex (so it is greppable in /trace verbatim).
+	resp, err := http.Post(ts.URL+"/match", "application/json", strings.NewReader(`{"instance":"small"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-Id"); !isHex16(id) {
+		t.Errorf("success response: X-Request-Id = %q, want minted 16-hex id", id)
+	}
+
+	// Inbound id honored and echoed.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/match", strings.NewReader(`{"instance":"small"}`))
+	req.Header.Set("X-Request-Id", "client-abc-123")
+	req.Header.Set("Content-Type", "application/json")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-Id"); id != "client-abc-123" {
+		t.Errorf("inbound id: echoed %q, want client-abc-123", id)
+	}
+
+	// Garbage inbound id (control chars) is replaced by a minted one. The
+	// stdlib client refuses to even send such a header, so drive the handler
+	// in-process with the header forced onto the map.
+	grr := httptest.NewRecorder()
+	greq := httptest.NewRequest(http.MethodPost, "/match", strings.NewReader(`{"instance":"small"}`))
+	greq.Header["X-Request-Id"] = []string{"bad\x01id"}
+	s.Handler().ServeHTTP(grr, greq)
+	if id := grr.Header().Get("X-Request-Id"); !isHex16(id) {
+		t.Errorf("garbage inbound id: got %q, want minted 16-hex id", id)
+	}
+
+	// Client error (400): header still present.
+	resp, err = http.Post(ts.URL+"/match", "application/json", strings.NewReader(`{not json`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: status %d, want 400", resp.StatusCode)
+	}
+	if id := resp.Header.Get("X-Request-Id"); !isHex16(id) {
+		t.Errorf("400 response: X-Request-Id = %q, want minted id", id)
+	}
+
+	// Load shed (429): occupy the only interactive slot, then ask with a
+	// hopeless deadline so admission sheds instead of queueing doomed work.
+	release, err := s.adm.Admit(context.Background(), ClassInteractive, time.Now().Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/match", "application/json",
+		strings.NewReader(`{"instance":"small","deadline_ms":1,"no_cache":true,"seed":99}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	release()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed: status %d, want 429", resp.StatusCode)
+	}
+	if id := resp.Header.Get("X-Request-Id"); !isHex16(id) {
+		t.Errorf("429 response: X-Request-Id = %q, want minted id", id)
+	}
+
+	// Panic (500): drive the full middleware chain around a panicking
+	// handler; the header must have been set before the handler ran.
+	h := s.withRequestID(s.guard(func(http.ResponseWriter, *http.Request, *Request) {
+		panic("boom")
+	}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/match", strings.NewReader(`{"instance":"small"}`)))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("panic: status %d, want 500", rr.Code)
+	}
+	if id := rr.Header().Get("X-Request-Id"); !isHex16(id) {
+		t.Errorf("500 response: X-Request-Id = %q, want minted id", id)
+	}
+
+	// The log captured one line per request, each with id + trace, and the
+	// shed and panic lines carry their event markers.
+	var sawShed, sawPanic int
+	for _, raw := range bytes.Split(bytes.TrimSpace(logBuf.Bytes()), []byte("\n")) {
+		var line struct {
+			ID     string `json:"id"`
+			Trace  string `json:"trace"`
+			Status int    `json:"status"`
+			Event  string `json:"event"`
+		}
+		if err := json.Unmarshal(raw, &line); err != nil {
+			t.Fatalf("log line %s: %v", raw, err)
+		}
+		if line.ID == "" || !isHex16(line.Trace) {
+			t.Errorf("log line missing correlation: %s", raw)
+		}
+		switch line.Event {
+		case "shed":
+			sawShed++
+		case "panic":
+			sawPanic++
+		}
+	}
+	if sawShed != 1 || sawPanic != 1 {
+		t.Errorf("log events: shed=%d panic=%d, want 1 each", sawShed, sawPanic)
+	}
+}
+
+// TestRequestIDAppearsInTrace pins the correlation loop end to end inside
+// the process: the minted X-Request-Id returned to the client appears
+// verbatim as a trace tag on the request's spans in /trace.
+func TestRequestIDAppearsInTrace(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, smallRegistry(t))
+	resp, err := http.Post(ts.URL+"/match", "application/json", strings.NewReader(`{"instance":"small"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := resp.Header.Get("X-Request-Id")
+	if !isHex16(id) {
+		t.Fatalf("X-Request-Id = %q, want minted 16-hex id", id)
+	}
+	tr, err := http.Get(ts.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(tr.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(id)) {
+		t.Errorf("/trace does not contain the response's request id %s", id)
+	}
+}
+
+// TestRequestsEndpoint pins the /requests live-inflight table: a running
+// compute request is visible with its id, endpoint, and state while
+// inflight, and gone once finished.
+func TestRequestsEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{}, smallRegistry(t))
+
+	// Park a request on the table directly (the HTTP path would finish too
+	// fast to observe reliably), alongside one real finished request.
+	tok := s.rec.ReqBegin(obs.ReqInfo{
+		ID: "feedfacefeedface", Trace: "feedfacefeedface",
+		Endpoint: "/match", Instance: "small", State: "received",
+		StartedAt: time.Now().UnixNano(),
+	})
+	s.rec.ReqState(tok, "running")
+	defer s.rec.ReqEnd(tok)
+
+	resp, err := http.Get(ts.URL + "/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rows []obs.ReqInfo
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range rows {
+		if row.ID == "feedfacefeedface" {
+			found = true
+			if row.State != "running" || row.Endpoint != "/match" || row.Instance != "small" {
+				t.Errorf("inflight row = %+v", row)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("parked request not in /requests: %+v", rows)
+	}
+
+	s.rec.ReqEnd(tok)
+	resp2, err := http.Get(ts.URL + "/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	rows = nil
+	if err := json.NewDecoder(resp2.Body).Decode(&rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.ID == "feedfacefeedface" {
+			t.Errorf("finished request still on /requests: %+v", row)
+		}
+	}
+}
+
+// TestLatencyExemplarLinksTrace pins the exemplar satellite: after a served
+// request, the latency histogram exposition carries an OpenMetrics-style
+// exemplar whose trace_id is the request's trace.
+func TestLatencyExemplarLinksTrace(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, smallRegistry(t))
+	resp, err := http.Post(ts.URL+"/match", "application/json", strings.NewReader(`{"instance":"small"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := resp.Header.Get("X-Request-Id")
+
+	m, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(m.Body); err != nil {
+		t.Fatal(err)
+	}
+	want := `# {trace_id="` + id + `"}`
+	if !bytes.Contains(buf.Bytes(), []byte(want)) {
+		t.Errorf("/metrics has no exemplar %s for the served request", want)
+	}
+}
